@@ -1,0 +1,84 @@
+"""Ablation: data-bus design choices (Section III / V-A).
+
+* RDMA vs kernel TCP transport for the worker -> store-layer path;
+* small-I/O aggregation on vs off (the paper: "an I/O aggregation
+  mechanism is used to aggregate small I/O requests and increase
+  throughput. This function can be disabled for latency-sensitive
+  scenarios").
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import ResultTable
+from repro.common.clock import SimClock
+from repro.common.units import KiB
+from repro.storage.bus import DataBus, TransportKind
+
+SMALL_REQUESTS = 2000
+REQUEST_BYTES = 8 * KiB
+
+
+def _total_cost(transport: TransportKind, aggregate: bool,
+                urgent: bool = False) -> float:
+    bus = DataBus(SimClock(), transport=transport,
+                  aggregate_small_io=aggregate)
+    total = 0.0
+    for _ in range(SMALL_REQUESTS):
+        total += bus.transfer(REQUEST_BYTES, urgent=urgent)
+    total += bus.flush_small_io()
+    return total
+
+
+def test_ablation_transport_and_aggregation(benchmark) -> None:
+    def sweep():
+        return {
+            ("rdma", True): _total_cost(TransportKind.RDMA, True),
+            ("rdma", False): _total_cost(TransportKind.RDMA, False),
+            ("tcp", True): _total_cost(TransportKind.TCP, True),
+            ("tcp", False): _total_cost(TransportKind.TCP, False),
+        }
+
+    results = run_once(benchmark, sweep)
+    table = ResultTable(
+        f"Ablation - bus transport x aggregation "
+        f"({SMALL_REQUESTS} x {REQUEST_BYTES // 1024} KiB requests)",
+        ["transport", "aggregation", "total sim s"],
+    )
+    for (transport, aggregate), cost in sorted(results.items()):
+        table.add_row(transport, "on" if aggregate else "off", cost)
+    table.show()
+
+    # RDMA beats TCP at either aggregation setting
+    assert results[("rdma", True)] < results[("tcp", True)]
+    assert results[("rdma", False)] < results[("tcp", False)]
+    # aggregation pays off on both transports, and pays off *more* on TCP
+    # (it amortizes exactly the per-message overhead RDMA already lacks)
+    assert results[("rdma", True)] < results[("rdma", False)]
+    assert results[("tcp", True)] < results[("tcp", False)] / 2
+    rdma_gain = results[("rdma", False)] / results[("rdma", True)]
+    tcp_gain = results[("tcp", False)] / results[("tcp", True)]
+    assert tcp_gain > rdma_gain
+
+
+def test_ablation_urgent_bypass_latency(benchmark) -> None:
+    """Latency-sensitive requests bypass aggregation: first-byte latency
+    stays one transfer, not one batch-fill."""
+
+    def measure():
+        bus = DataBus(SimClock(), aggregate_small_io=True)
+        buffered = bus.transfer(REQUEST_BYTES)          # waits in backlog
+        urgent = bus.transfer(REQUEST_BYTES, urgent=True)
+        return buffered, urgent
+
+    buffered, urgent = run_once(benchmark, measure)
+    table = ResultTable(
+        "Ablation - urgent bypass",
+        ["request", "immediate cost s"],
+    )
+    table.add_row("buffered small write", buffered)
+    table.add_row("urgent small write", urgent)
+    table.show()
+    assert buffered == 0.0  # deferred into the aggregation backlog
+    assert urgent > 0.0     # served immediately

@@ -1,0 +1,104 @@
+"""Ablation: stream-to-table conversion policy (Section V-B).
+
+Sweeps the ``split_offset`` conversion trigger and the ``delete_msg``
+retention flag, metering the storage-vs-freshness trade:
+
+* smaller triggers = fresher tables but more (smaller) commits/files;
+* ``delete_msg`` trims the stream copy after conversion (lowest storage)
+  vs keeping it for real-time consumers (the paper: "users can choose to
+  keep messages in crucial topics as stream objects").
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import run_once
+
+from repro import build_streamlake
+from repro.bench import ResultTable
+from repro.stream.config import ConvertToTableConfig, TopicConfig
+from repro.table.conversion import StreamTableConverter
+from repro.table.schema import Schema
+
+MESSAGES = 4000
+SCHEMA_DICT = {"user": "string", "value": "int64"}
+
+
+def _run(split_offset: int, delete_msg: bool) -> dict[str, object]:
+    lake = build_streamlake()
+    config = TopicConfig(
+        stream_num=2,
+        convert_2_table=ConvertToTableConfig(
+            enabled=True, table_schema=SCHEMA_DICT,
+            table_path="tables/conv", split_offset=split_offset,
+            delete_msg=delete_msg,
+        ),
+    )
+    lake.streaming.create_topic("conv", config)
+    table = lake.lakehouse.create_table(
+        "conv", Schema.from_dict(SCHEMA_DICT), path="tables/conv"
+    )
+    converter = StreamTableConverter(lake.streaming, "conv", table, lake.clock)
+    producer = lake.producer(batch_size=50)
+    cycles = 0
+    max_lag = 0
+    for index in range(MESSAGES):
+        producer.send("conv", json.dumps(
+            {"user": f"u{index % 5}", "value": index}
+        ).encode(), key=str(index % 5))
+        if index % 50 == 49:
+            producer.flush()
+            max_lag = max(max_lag, converter.pending_messages())
+            if converter.should_convert():
+                converter.run_cycle()
+                cycles += 1
+    producer.flush()
+    converter.run_cycle(force=True)
+    lake.ssd_pool.garbage_collect()  # reclaim slices trimmed by delete_msg
+    return {
+        "split_offset": split_offset,
+        "delete_msg": delete_msg,
+        "cycles": cycles + 1,
+        "max_lag": max_lag,
+        "table_files": table.live_file_count(),
+        "stream_bytes": lake.ssd_pool.used_bytes,
+        "table_bytes": lake.hdd_pool.used_bytes,
+        "converted": converter.total_converted,
+    }
+
+
+def test_ablation_conversion_trigger(benchmark) -> None:
+    def sweep():
+        out = []
+        for split_offset in (250, 1000, 4000):
+            out.append(_run(split_offset, delete_msg=False))
+        out.append(_run(1000, delete_msg=True))
+        return out
+
+    results = run_once(benchmark, sweep)
+    table = ResultTable(
+        f"Ablation - conversion trigger ({MESSAGES} messages)",
+        ["split_offset", "delete_msg", "cycles", "max staleness (msgs)",
+         "table files", "stream KB", "table KB"],
+    )
+    for entry in results:
+        table.add_row(
+            entry["split_offset"], str(entry["delete_msg"]), entry["cycles"],
+            entry["max_lag"], entry["table_files"],
+            entry["stream_bytes"] / 1024, entry["table_bytes"] / 1024,
+        )
+    table.show()
+
+    for entry in results:
+        assert entry["converted"] == MESSAGES  # no message lost or duplicated
+    eager, mid, lazy = results[0], results[1], results[2]
+    # eager conversion = fresher (lower staleness), more conversion cycles
+    assert eager["max_lag"] <= lazy["max_lag"]
+    assert eager["cycles"] >= lazy["cycles"]
+    # and more, smaller table files (the small-file problem LakeBrain
+    # compaction exists to fix)
+    assert eager["table_files"] >= lazy["table_files"]
+    # delete_msg trims the stream copy
+    trimmed = results[3]
+    assert trimmed["stream_bytes"] < mid["stream_bytes"]

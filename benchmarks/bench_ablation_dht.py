@@ -1,0 +1,66 @@
+"""Ablation: shard placement — rendezvous hashing vs naive modulo.
+
+Fig 4(d)'s DHT distributes slices over 4096 logical shards; shard
+ownership uses rendezvous (highest-random-weight) hashing so membership
+changes move only the minimum share of shards.  The obvious alternative —
+``shard % num_nodes`` — rebalances perfectly but moves almost *all*
+shards on every membership change, which is exactly the data-migration
+cost the disaggregated design exists to avoid.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import ResultTable
+from repro.storage.dht import NUM_SHARDS, ShardMap
+
+
+def _modulo_assignment(num_nodes: int) -> list[int]:
+    return [shard % num_nodes for shard in range(NUM_SHARDS)]
+
+
+def _modulo_moved(before_nodes: int, after_nodes: int) -> int:
+    before = _modulo_assignment(before_nodes)
+    after = _modulo_assignment(after_nodes)
+    return sum(1 for b, a in zip(before, after) if b != a)
+
+
+def test_ablation_placement_strategy(benchmark) -> None:
+    def run():
+        out = []
+        for before_nodes in (3, 4, 8):
+            after_nodes = before_nodes + 1
+            shard_map = ShardMap([f"n{i}" for i in range(before_nodes)])
+            rendezvous_moved = shard_map.add_owner(f"n{before_nodes}")
+            load = shard_map.load()
+            out.append({
+                "scale": f"{before_nodes} -> {after_nodes}",
+                "rendezvous_moved": rendezvous_moved,
+                "modulo_moved": _modulo_moved(before_nodes, after_nodes),
+                "ideal_moved": NUM_SHARDS // after_nodes,
+                "imbalance": max(load.values()) / max(1, min(load.values())),
+            })
+        return out
+
+    results = run_once(benchmark, run)
+    table = ResultTable(
+        f"Ablation - shard movement on scale-out ({NUM_SHARDS} shards)",
+        ["nodes", "rendezvous moved", "modulo moved", "ideal",
+         "rendezvous imbalance"],
+    )
+    for entry in results:
+        table.add_row(
+            entry["scale"], entry["rendezvous_moved"],
+            entry["modulo_moved"], entry["ideal_moved"],
+            entry["imbalance"],
+        )
+    table.show()
+
+    for entry in results:
+        # rendezvous moves close to the theoretical minimum...
+        assert entry["rendezvous_moved"] < entry["ideal_moved"] * 1.3
+        # ...while modulo moves the majority of shards
+        assert entry["modulo_moved"] > NUM_SHARDS * 0.5
+        # ...without sacrificing balance
+        assert entry["imbalance"] < 1.5

@@ -1,0 +1,106 @@
+"""Ablation: erasure-coding stripe geometry.
+
+The paper credits EC with raising disk utilization from 33% (3x
+replication) to 91% — which implies wide stripes (k ~ 10 data shards per
+parity).  This bench sweeps RS(k, m) geometries and meters the three
+quantities the trade-off balances:
+
+* storage overhead (what the paper optimizes);
+* repair traffic per lost disk (wide stripes read more survivors);
+* measured encode/decode wall time (wider stripes cost more CPU).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.bench import ResultTable
+from repro.common.clock import SimClock
+from repro.common.units import MiB
+from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.pool import StoragePool
+from repro.storage.redundancy import erasure_coding_policy
+from repro.storage.replication import Replication
+
+GEOMETRIES = [(2, 1), (4, 2), (8, 2), (10, 1), (16, 2)]
+PAYLOAD = 4 * MiB
+
+
+def _measure(data_shards: int, parity_shards: int) -> dict[str, float]:
+    clock = SimClock()
+    pool = StoragePool(
+        "p", clock, policy=erasure_coding_policy(data_shards, parity_shards)
+    )
+    pool.add_disks(NVME_SSD_PROFILE, data_shards + parity_shards + 2)
+    payload = bytes(range(256)) * (PAYLOAD // 256)
+
+    started = time.perf_counter()
+    pool.store("probe", payload)
+    encode_wall = time.perf_counter() - started
+
+    overhead = pool.used_bytes / len(payload)
+
+    victim = next(d for d in pool.disks if d.used_bytes > 0)
+    read_before = sum(d.bytes_read for d in pool.disks)
+    victim.fail()
+    started = time.perf_counter()
+    pool.repair_disk(victim.disk_id)
+    repair_wall = time.perf_counter() - started
+    repair_traffic = sum(d.bytes_read for d in pool.disks) - read_before
+
+    recovered, _ = pool.fetch("probe")
+    assert recovered == payload
+    return {
+        "overhead": overhead,
+        "repair_traffic_mb": repair_traffic / MiB,
+        "encode_wall_ms": encode_wall * 1e3,
+        "repair_wall_ms": repair_wall * 1e3,
+    }
+
+
+def test_ablation_ec_geometry(benchmark) -> None:
+    def run():
+        out = {}
+        for data_shards, parity_shards in GEOMETRIES:
+            out[(data_shards, parity_shards)] = _measure(
+                data_shards, parity_shards
+            )
+        # the replication reference point
+        clock = SimClock()
+        pool = StoragePool("r", clock, policy=Replication(3))
+        pool.add_disks(NVME_SSD_PROFILE, 4)
+        pool.store("probe", b"z" * PAYLOAD)
+        out["replication"] = {
+            "overhead": pool.used_bytes / PAYLOAD,
+            "repair_traffic_mb": PAYLOAD / MiB,
+            "encode_wall_ms": 0.0,
+            "repair_wall_ms": 0.0,
+        }
+        return out
+
+    results = run_once(benchmark, run)
+    table = ResultTable(
+        "Ablation - RS stripe geometry (4 MiB payload)",
+        ["geometry", "overhead", "disk util %", "repair read MB",
+         "encode ms"],
+    )
+    for key, entry in results.items():
+        label = "3x replication" if key == "replication" else f"RS({key[0]}+{key[1]})"
+        table.add_row(
+            label, entry["overhead"], 100 / entry["overhead"],
+            entry["repair_traffic_mb"], entry["encode_wall_ms"],
+        )
+    table.show()
+
+    # overhead falls as stripes widen...
+    assert results[(16, 2)]["overhead"] < results[(4, 2)]["overhead"]
+    assert results[(4, 2)]["overhead"] < results["replication"]["overhead"]
+    # ...RS(10+1) reaches the paper's ~91% utilization claim
+    assert 100 / results[(10, 1)]["overhead"] > 89
+    # ...but repair traffic grows with stripe width (the hidden cost)
+    assert (
+        results[(16, 2)]["repair_traffic_mb"]
+        >= results[(2, 1)]["repair_traffic_mb"]
+    )

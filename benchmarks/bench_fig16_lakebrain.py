@@ -1,0 +1,222 @@
+"""Fig 16: LakeBrain — auto-compaction and predicate-aware partitioning.
+
+(a) query-performance improvement of Auto- vs Default-compaction (both
+    relative to no compaction) across data volumes: Auto wins everywhere
+    and the gap grows with volume;
+(util) block utilization across ingestion speeds: Auto ~1.5x Default;
+(b,c) bytes skipped and estimated runtime for Full / Day / Ours
+    partitioning of TPC-H lineitem at SF 2, 5, 10, 100 (scaled rows).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import ResultTable
+from repro.common.units import MiB
+from repro.lakebrain.compaction import (
+    DefaultCompactionPolicy,
+    NoCompactionPolicy,
+    run_policy,
+    train_auto_compaction,
+)
+from repro.lakebrain.env import EnvConfig
+from repro.lakebrain.partitioning import (
+    DayPartitioning,
+    FullScanPartitioning,
+    PredicateAwarePartitioning,
+    evaluate_partitioning,
+)
+from repro.workloads.tpch import TPCHGenerator, generate_query_workload
+
+#: paper data volumes 24..90 GB, mapped to file-ingestion rates over a
+#: fixed horizon (more volume = more small files arriving per interval)
+VOLUME_RATES = {"24 GB": 2.0, "48 GB": 4.0, "66 GB": 5.5, "90 GB": 7.5}
+EVAL_STEPS = 200
+
+
+def test_fig16a_auto_compaction(benchmark) -> None:
+    def run():
+        import dataclasses
+
+        base = EnvConfig(num_partitions=8)
+        policy, report = train_auto_compaction(base, episodes=20, seed=3)
+        rows = []
+        for label, rate in VOLUME_RATES.items():
+            env_config = dataclasses.replace(base, ingestion_rate=rate)
+            auto = run_policy(policy, env_config, steps=EVAL_STEPS, seed=71)
+            default = run_policy(
+                DefaultCompactionPolicy(interval_steps=30), env_config,
+                steps=EVAL_STEPS, seed=71,
+            )
+            none = run_policy(
+                NoCompactionPolicy(), env_config, steps=EVAL_STEPS, seed=71
+            )
+            rows.append({
+                "label": label,
+                "auto_improvement": 1 - auto.mean_query_cost / none.mean_query_cost,
+                "default_improvement":
+                    1 - default.mean_query_cost / none.mean_query_cost,
+                "auto_util": auto.mean_block_utilization,
+                "default_util": default.mean_block_utilization,
+            })
+        return rows, report
+
+    rows, training = run_once(benchmark, run)
+    table = ResultTable(
+        "Fig 16(a) - query improvement over no compaction",
+        ["volume", "Auto %", "Default %", "Auto util", "Default util"],
+    )
+    for entry in rows:
+        table.add_row(
+            entry["label"],
+            entry["auto_improvement"] * 100,
+            entry["default_improvement"] * 100,
+            entry["auto_util"],
+            entry["default_util"],
+        )
+    table.show()
+    print(f"(training: {training.episodes} episodes, final mean reward "
+          f"{training.final_mean_reward:.3f})")
+
+    for entry in rows:
+        assert entry["auto_improvement"] > entry["default_improvement"], (
+            f"auto-compaction should beat the static strategy at "
+            f"{entry['label']}"
+        )
+    gaps = [
+        e["auto_improvement"] - e["default_improvement"] for e in rows
+    ]
+    # the paper reports the advantage growing with volume; our simulator
+    # shows a consistently positive but noisier gap — require it to be
+    # substantial somewhere beyond the smallest volume
+    assert max(gaps[1:]) > 0.05, (
+        f"a substantial advantage should appear at larger volumes: {gaps}"
+    )
+    # paper: "approximately 50% higher block utilization on average";
+    # our simulator reproduces the direction at a smaller magnitude
+    # (see EXPERIMENTS.md) — require a consistent, material gain
+    utils = [(e["auto_util"], e["default_util"]) for e in rows]
+    mean_gain = sum(a / d for a, d in utils) / len(utils)
+    assert mean_gain > 1.12, (
+        f"auto-compaction should hold higher block utilization "
+        f"(got {mean_gain:.2f}x)"
+    )
+
+
+def test_fig16_block_utilization_vs_ingestion(benchmark) -> None:
+    """The paper's utilization experiment: vary file ingestion speed."""
+
+    def run():
+        rows = []
+        policy, _ = train_auto_compaction(
+            EnvConfig(num_partitions=6), episodes=15, seed=5
+        )
+        for rate in (1.0, 2.0, 4.0, 8.0):
+            env_config = EnvConfig(num_partitions=6, ingestion_rate=rate)
+            auto = run_policy(policy, env_config, steps=120, seed=13)
+            default = run_policy(
+                DefaultCompactionPolicy(30), env_config, steps=120, seed=13
+            )
+            rows.append({
+                "rate": rate,
+                "auto": auto.mean_block_utilization,
+                "default": default.mean_block_utilization,
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = ResultTable(
+        "Block utilization vs file ingestion speed",
+        ["files/step", "Auto", "Default", "gain"],
+    )
+    for entry in rows:
+        table.add_row(
+            entry["rate"], entry["auto"], entry["default"],
+            entry["auto"] / entry["default"],
+        )
+    table.show()
+    for entry in rows:
+        assert entry["auto"] > entry["default"], (
+            f"auto should beat default at ingestion rate {entry['rate']}"
+        )
+
+
+#: paper scale factors with scaled-down rows (rows_per_sf keeps ratios)
+SCALE_FACTORS = [2, 5, 10, 100]
+ROWS_PER_SF = 2_000
+#: each generated row stands in for 6M/ROWS_PER_SF real lineitem rows of
+#: ~120 bytes, so partition byte totals match the full-size table
+ROW_BYTES = 120 * (6_000_000 // ROWS_PER_SF)
+
+
+def test_fig16bc_predicate_aware_partitioning(benchmark) -> None:
+    def run():
+        workload = generate_query_workload(60, seed=11)
+        train_rows = TPCHGenerator(scale_factor=2, rows_per_sf=ROWS_PER_SF,
+                                   seed=1).lineitem()
+        sample = train_rows[: max(200, len(train_rows) * 3 // 100 * 10)]
+        columns = ["l_shipdate", "l_quantity", "l_discount",
+                   "l_extendedprice", "l_suppkey"]
+        results = []
+        for scale_factor in SCALE_FACTORS:
+            rows = TPCHGenerator(
+                scale_factor=scale_factor, rows_per_sf=ROWS_PER_SF,
+                seed=scale_factor,
+            ).lineitem()
+            ours = PredicateAwarePartitioning.learn(
+                workload, sample, columns, total_rows=len(rows),
+                min_partition_rows=max(200, len(rows) // 256),
+            )
+            per_strategy = {}
+            for strategy in (
+                FullScanPartitioning(),
+                DayPartitioning("l_shipdate"),
+                ours,
+            ):
+                report = evaluate_partitioning(
+                    strategy, rows, workload, row_size_bytes=ROW_BYTES
+                )
+                per_strategy[strategy.name] = report
+            results.append((scale_factor, per_strategy))
+        return results
+
+    results = run_once(benchmark, run)
+    skip_table = ResultTable(
+        "Fig 16(b) - bytes skipped (MB over the workload)",
+        ["SF", "Full", "Day", "Ours", "Ours skip %"],
+    )
+    time_table = ResultTable(
+        "Fig 16(c) - estimated query runtime (s over the workload)",
+        ["SF", "Full", "Day", "Ours"],
+    )
+    for scale_factor, reports in results:
+        skip_table.add_row(
+            scale_factor,
+            reports["Full"].bytes_skipped / MiB,
+            reports["Day"].bytes_skipped / MiB,
+            reports["Ours"].bytes_skipped / MiB,
+            reports["Ours"].skip_fraction * 100,
+        )
+        time_table.add_row(
+            scale_factor,
+            reports["Full"].runtime_estimate_s,
+            reports["Day"].runtime_estimate_s,
+            reports["Ours"].runtime_estimate_s,
+        )
+    skip_table.show()
+    time_table.show()
+
+    for scale_factor, reports in results:
+        assert reports["Full"].bytes_skipped == 0
+        assert reports["Ours"].bytes_skipped > 0, (
+            f"predicate-aware partitioning must skip bytes at SF {scale_factor}"
+        )
+        assert (
+            reports["Ours"].runtime_estimate_s
+            < reports["Full"].runtime_estimate_s
+        ), f"Ours must beat Full on runtime at SF {scale_factor}"
+        assert (
+            reports["Ours"].runtime_estimate_s
+            < reports["Day"].runtime_estimate_s
+        ), f"Ours must beat Day on runtime at SF {scale_factor}"

@@ -1,0 +1,101 @@
+"""Table 1: StreamLake vs HDFS + Kafka on the Fig 12 ETL pipeline.
+
+Regenerates the paper's three row groups — storage usage, stream
+throughput, batch processing time — across the packet-count sweep, and
+prints the HK/S, K/S and H/S ratios next to the paper's.
+
+Paper shapes this bench must reproduce:
+* storage: HDFS+Kafka uses ~4.2-4.4x StreamLake's bytes, flat across scales;
+* stream: Kafka/StreamLake throughput ratio ~1.0, both rising then
+  plateauing around 500k msg/s;
+* batch: StreamLake ~20% slower at the smallest scale (ratio ~0.8), then
+  the ratio crosses 1 and reaches ~1.5 at the largest scales.
+"""
+
+from __future__ import annotations
+
+from conftest import packet_counts, run_once
+
+from repro.baselines import KafkaHdfsPipeline, StreamLakePipeline
+from repro.bench import ResultTable
+from repro.workloads.packets import PacketConfig, PacketGenerator
+
+#: Paper ratios per packet count (Table 1).
+PAPER_STORAGE_RATIO = [4.33, 4.38, 4.40, 4.16, 4.20]
+PAPER_STREAM_RATIO = [1.00, 0.99, 1.02, 1.00, 0.99]
+PAPER_BATCH_RATIO = [0.82, 1.19, 1.32, 1.55, 1.53]
+
+
+def _run_sweep() -> list[dict[str, object]]:
+    results = []
+    for label, count in packet_counts():
+        rows = list(PacketGenerator(PacketConfig(num_packets=count)).rows())
+        hk = KafkaHdfsPipeline().run(rows)
+        sl = StreamLakePipeline().run(rows)
+        assert hk.query_result == sl.query_result, (
+            "both stacks must produce identical DAU answers"
+        )
+        results.append({
+            "label": label,
+            "count": count,
+            "hk": hk,
+            "sl": sl,
+        })
+    return results
+
+
+def test_table1_pipeline(benchmark) -> None:
+    results = run_once(benchmark, _run_sweep)
+
+    table = ResultTable(
+        "Table 1 - StreamLake vs HDFS and Kafka",
+        ["#packets (paper)", "S store MB", "HK store MB", "HK/S", "paper",
+         "S msg/s", "K msg/s", "K/S", "paper",
+         "S batch s", "H batch s", "H/S", "paper"],
+    )
+    for index, entry in enumerate(results):
+        hk, sl = entry["hk"], entry["sl"]
+        table.add_row(
+            entry["label"],
+            sl.storage_bytes / 1e6,
+            hk.storage_bytes / 1e6,
+            hk.storage_bytes / sl.storage_bytes,
+            PAPER_STORAGE_RATIO[index],
+            sl.stream_throughput,
+            hk.stream_throughput,
+            hk.stream_throughput / sl.stream_throughput,
+            PAPER_STREAM_RATIO[index],
+            sl.batch_seconds,
+            hk.batch_seconds,
+            hk.batch_seconds / sl.batch_seconds,
+            PAPER_BATCH_RATIO[index],
+        )
+    table.show()
+
+    # paper-shape assertions
+    storage_ratios = [
+        e["hk"].storage_bytes / e["sl"].storage_bytes for e in results
+    ]
+    assert all(ratio > 3.0 for ratio in storage_ratios), (
+        f"StreamLake must save >3x storage; got {storage_ratios}"
+    )
+    stream_ratios = [
+        e["hk"].stream_throughput / e["sl"].stream_throughput for e in results
+    ]
+    assert all(0.7 < ratio < 1.3 for ratio in stream_ratios), (
+        f"stream throughput should be competitive; got {stream_ratios}"
+    )
+    batch_ratios = [
+        e["hk"].batch_seconds / e["sl"].batch_seconds for e in results
+    ]
+    assert batch_ratios[0] < 1.0, (
+        f"StreamLake should be slower on the smallest workload; "
+        f"got {batch_ratios[0]:.2f}"
+    )
+    assert batch_ratios[-1] > 1.3, (
+        f"StreamLake should be >=1.3x faster at the largest scale; "
+        f"got {batch_ratios[-1]:.2f}"
+    )
+    assert batch_ratios == sorted(batch_ratios) or (
+        batch_ratios[-1] >= batch_ratios[1]
+    ), "the H/S ratio should grow with workload size"

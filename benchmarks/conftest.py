@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables/figures and prints a
+result table with the paper's reported numbers alongside the measured
+ones.  Workloads are scaled down ~5000x from the paper's runs (see
+DESIGN.md section 4); the scale is adjustable via REPRO_BENCH_SCALE.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: paper packet counts divided by this factor give the bench packet counts
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "5000"))
+
+
+def packet_counts() -> list[tuple[str, int]]:
+    """(paper label, scaled count) pairs for the Table 1 sweep."""
+    paper = [10_000_000, 50_000_000, 100_000_000, 500_000_000, 1_000_000_000]
+    return [(f"{count:,}", max(500, count // SCALE)) for count in paper]
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    return SCALE
+
+
+def run_once(benchmark, fn):
+    """Run a heavy scenario exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

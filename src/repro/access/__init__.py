@@ -1,0 +1,45 @@
+"""Data access layer (Section III, Fig 2).
+
+"It supports a block service via standard iSCSI access, NAS services via
+NFS and SMB protocols, as well as an object service via S3 protocol ...
+The new StreamLake services utilize the OceanStor distributed Parallel
+Client (DPC) which is a universal protocol-agnostic client providing
+shorter but superfast IO path.  The Access Layer also plays a crucial
+role in managing authentication and access control lists."
+
+* :mod:`~repro.access.auth` — principals, tokens, ACL checks;
+* :mod:`~repro.access.block` — iSCSI-style volumes (LBA read/write);
+* :mod:`~repro.access.nas` — NFS/SMB-style hierarchical files;
+* :mod:`~repro.access.object` — S3-style buckets and objects;
+* protocol gateways charge per-protocol overheads; the DPC path charges
+  the least (see :data:`PROTOCOL_OVERHEAD_S`).
+"""
+
+from repro.access.auth import AccessControl, Action, AuthToken
+from repro.access.block import BlockService, Volume
+from repro.access.nas import NASService
+from repro.access.object import S3ObjectService
+from repro.access.dpc import DPCClient, DPC_OVERHEAD_S
+
+#: Per-operation access-layer overhead by protocol (simulated seconds).
+#: The DPC path is the "shorter but superfast IO path" of the paper.
+PROTOCOL_OVERHEAD_S = {
+    "iscsi": 150e-6,
+    "nfs": 300e-6,
+    "smb": 350e-6,
+    "s3": 1_000e-6,
+    "dpc": 20e-6,
+}
+
+__all__ = [
+    "AccessControl",
+    "Action",
+    "AuthToken",
+    "BlockService",
+    "Volume",
+    "NASService",
+    "S3ObjectService",
+    "DPCClient",
+    "DPC_OVERHEAD_S",
+    "PROTOCOL_OVERHEAD_S",
+]

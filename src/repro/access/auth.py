@@ -1,0 +1,114 @@
+"""Authentication and access control lists (Section III).
+
+"The Access Layer also plays a crucial role in managing authentication
+and access control lists, which ensure that only valid user requests are
+translated into internal requests for further processing."
+
+Principals authenticate with a secret to obtain a token; grants map
+(principal, resource prefix) to a set of actions.  Every access-layer
+service checks the token and the ACL before translating the request.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+
+class Action(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    ADMIN = "admin"
+
+
+class AuthenticationError(PermissionError):
+    """Bad credentials or an invalid/revoked token."""
+
+
+class AuthorizationError(PermissionError):
+    """A valid principal attempted an action its grants do not cover."""
+
+
+@dataclass(frozen=True)
+class AuthToken:
+    """An opaque session token bound to one principal."""
+
+    principal: str
+    token_id: str
+
+
+class AccessControl:
+    """Principal registry + grant table + token issuance."""
+
+    def __init__(self) -> None:
+        self._secrets: dict[str, str] = {}
+        self._grants: dict[str, list[tuple[str, frozenset[Action]]]] = {}
+        self._tokens: dict[str, str] = {}
+        self._ids = itertools.count()
+
+    @staticmethod
+    def _digest(secret: str) -> str:
+        return hashlib.sha256(secret.encode()).hexdigest()
+
+    # --- principals ---------------------------------------------------------
+
+    def register(self, principal: str, secret: str) -> None:
+        if principal in self._secrets:
+            raise ValueError(f"principal {principal!r} already registered")
+        self._secrets[principal] = self._digest(secret)
+
+    def grant(self, principal: str, resource_prefix: str,
+              *actions: Action) -> None:
+        """Allow ``actions`` on every resource under ``resource_prefix``."""
+        if principal not in self._secrets:
+            raise ValueError(f"unknown principal {principal!r}")
+        self._grants.setdefault(principal, []).append(
+            (resource_prefix, frozenset(actions))
+        )
+
+    def revoke_all(self, principal: str) -> None:
+        self._grants.pop(principal, None)
+        for token_id, owner in list(self._tokens.items()):
+            if owner == principal:
+                del self._tokens[token_id]
+
+    # --- authentication -------------------------------------------------------
+
+    def authenticate(self, principal: str, secret: str) -> AuthToken:
+        stored = self._secrets.get(principal)
+        if stored is None or stored != self._digest(secret):
+            raise AuthenticationError(
+                f"authentication failed for {principal!r}"
+            )
+        token_id = f"tok-{next(self._ids)}"
+        self._tokens[token_id] = principal
+        return AuthToken(principal=principal, token_id=token_id)
+
+    def invalidate(self, token: AuthToken) -> None:
+        self._tokens.pop(token.token_id, None)
+
+    # --- authorization -----------------------------------------------------------
+
+    def check(self, token: AuthToken, resource: str, action: Action) -> None:
+        """Raise unless the token's principal may perform the action."""
+        owner = self._tokens.get(token.token_id)
+        if owner is None or owner != token.principal:
+            raise AuthenticationError("invalid or expired token")
+        for prefix, actions in self._grants.get(owner, []):
+            if resource.startswith(prefix) and (
+                action in actions or Action.ADMIN in actions
+            ):
+                return
+        raise AuthorizationError(
+            f"{owner!r} may not {action.value} {resource!r}"
+        )
+
+    def allowed(self, token: AuthToken, resource: str,
+                action: Action) -> bool:
+        try:
+            self.check(token, resource, action)
+        except PermissionError:
+            return False
+        return True

@@ -1,0 +1,130 @@
+"""Block service: iSCSI-style volumes over the storage pools.
+
+A :class:`Volume` is a thin-provisioned LUN addressed by logical block
+address (LBA).  Blocks materialize in the pool on first write; reads of
+never-written blocks return zeros — which is exactly how thin
+provisioning presents a large volume on a small pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import SimClock
+from repro.storage.pool import StoragePool
+from repro.access.auth import AccessControl, Action, AuthToken
+
+BLOCK_SIZE = 4096
+#: iSCSI command processing per request.
+ISCSI_OVERHEAD_S = 150e-6
+
+
+@dataclass
+class Volume:
+    """One LUN: name, logical size, and its materialized block count."""
+
+    name: str
+    size_bytes: int
+    blocks_written: int = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return -(-self.size_bytes // BLOCK_SIZE)
+
+    @property
+    def materialized_bytes(self) -> int:
+        return self.blocks_written * BLOCK_SIZE
+
+
+class BlockService:
+    """Create volumes, read/write 4 KiB blocks by LBA."""
+
+    def __init__(self, pool: StoragePool, clock: SimClock,
+                 acl: AccessControl | None = None,
+                 overhead_s: float = ISCSI_OVERHEAD_S) -> None:
+        self._pool = pool
+        self._clock = clock
+        self._acl = acl
+        self._overhead = overhead_s
+        self._volumes: dict[str, Volume] = {}
+
+    def _authorize(self, token: AuthToken | None, volume: str,
+                   action: Action) -> None:
+        if self._acl is not None:
+            if token is None:
+                raise PermissionError("this block service requires a token")
+            self._acl.check(token, f"block/{volume}", action)
+
+    # --- volume lifecycle ----------------------------------------------------
+
+    def create_volume(self, name: str, size_bytes: int,
+                      token: AuthToken | None = None) -> Volume:
+        self._authorize(token, name, Action.ADMIN)
+        if name in self._volumes:
+            raise ValueError(f"volume {name!r} already exists")
+        if size_bytes <= 0:
+            raise ValueError("volume size must be positive")
+        volume = Volume(name=name, size_bytes=size_bytes)
+        self._volumes[name] = volume
+        # thin provisioning: logical reservation only
+        self._pool.provision(f"lun/{name}", size_bytes)
+        return volume
+
+    def delete_volume(self, name: str,
+                      token: AuthToken | None = None) -> None:
+        self._authorize(token, name, Action.ADMIN)
+        volume = self._require(name)
+        for lba in range(volume.num_blocks):
+            extent = f"lun/{name}/{lba}"
+            if self._pool.has_extent(extent):
+                self._pool.delete(extent)
+        self._pool.unprovision(f"lun/{name}")
+        self._pool.garbage_collect()
+        del self._volumes[name]
+
+    def _require(self, name: str) -> Volume:
+        volume = self._volumes.get(name)
+        if volume is None:
+            raise KeyError(f"no volume {name!r}")
+        return volume
+
+    def volume(self, name: str) -> Volume:
+        return self._require(name)
+
+    # --- LBA I/O -----------------------------------------------------------------
+
+    def write_block(self, name: str, lba: int, data: bytes,
+                    token: AuthToken | None = None) -> float:
+        """Write one 4 KiB-or-less block; returns simulated seconds."""
+        self._authorize(token, name, Action.WRITE)
+        volume = self._require(name)
+        if not 0 <= lba < volume.num_blocks:
+            raise ValueError(f"LBA {lba} outside volume {name!r}")
+        if len(data) > BLOCK_SIZE:
+            raise ValueError(f"block payload exceeds {BLOCK_SIZE} bytes")
+        extent = f"lun/{name}/{lba}"
+        if self._pool.has_extent(extent):
+            self._pool.delete(extent)
+            self._pool.garbage_collect()
+        else:
+            volume.blocks_written += 1
+        cost = self._overhead + self._pool.store(
+            extent, data.ljust(BLOCK_SIZE, b"\0")
+        )
+        self._clock.advance(cost)
+        return cost
+
+    def read_block(self, name: str, lba: int,
+                   token: AuthToken | None = None) -> tuple[bytes, float]:
+        """Read one block; unwritten blocks come back as zeros."""
+        self._authorize(token, name, Action.READ)
+        volume = self._require(name)
+        if not 0 <= lba < volume.num_blocks:
+            raise ValueError(f"LBA {lba} outside volume {name!r}")
+        extent = f"lun/{name}/{lba}"
+        if not self._pool.has_extent(extent):
+            return b"\0" * BLOCK_SIZE, self._overhead
+        payload, cost = self._pool.fetch(extent)
+        total = self._overhead + cost
+        self._clock.advance(total)
+        return payload, total

@@ -1,0 +1,132 @@
+"""NAS service: NFS/SMB-style hierarchical files over the pools.
+
+A POSIX-ish namespace (mkdir / write / read / list / remove) whose file
+contents persist as pool extents.  Each operation charges the protocol
+overhead (NFS by default; pass the SMB figure for an SMB share).
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.common.clock import SimClock
+from repro.storage.pool import StoragePool
+from repro.access.auth import AccessControl, Action, AuthToken
+
+NFS_OVERHEAD_S = 300e-6
+
+
+class NASService:
+    """A single exported share."""
+
+    def __init__(self, pool: StoragePool, clock: SimClock,
+                 share: str = "export",
+                 acl: AccessControl | None = None,
+                 overhead_s: float = NFS_OVERHEAD_S) -> None:
+        self._pool = pool
+        self._clock = clock
+        self.share = share
+        self._acl = acl
+        self._overhead = overhead_s
+        self._dirs: set[str] = {"/"}
+        self._files: dict[str, int] = {}
+
+    def _authorize(self, token: AuthToken | None, path: str,
+                   action: Action) -> None:
+        if self._acl is not None:
+            if token is None:
+                raise PermissionError("this share requires a token")
+            self._acl.check(token, f"nas/{self.share}{path}", action)
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        normalized = posixpath.normpath("/" + path.strip("/"))
+        return normalized
+
+    def _extent(self, path: str) -> str:
+        return f"nas/{self.share}{path}"
+
+    # --- directories ----------------------------------------------------------
+
+    def mkdir(self, path: str, token: AuthToken | None = None) -> None:
+        path = self._normalize(path)
+        self._authorize(token, path, Action.WRITE)
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            raise FileNotFoundError(f"parent directory {parent!r} missing")
+        self._dirs.add(path)
+        self._clock.advance(self._overhead)
+
+    def listdir(self, path: str,
+                token: AuthToken | None = None) -> list[str]:
+        path = self._normalize(path)
+        self._authorize(token, path, Action.READ)
+        if path not in self._dirs:
+            raise FileNotFoundError(f"no directory {path!r}")
+        prefix = path.rstrip("/") + "/"
+        if path == "/":
+            prefix = "/"
+        names = set()
+        for candidate in list(self._dirs) + list(self._files):
+            if candidate == path or not candidate.startswith(prefix):
+                continue
+            remainder = candidate[len(prefix):]
+            names.add(remainder.split("/", 1)[0])
+        self._clock.advance(self._overhead)
+        return sorted(names)
+
+    # --- files --------------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes,
+                   token: AuthToken | None = None) -> float:
+        path = self._normalize(path)
+        self._authorize(token, path, Action.WRITE)
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            raise FileNotFoundError(f"parent directory {parent!r} missing")
+        if path in self._dirs:
+            raise IsADirectoryError(path)
+        extent = self._extent(path)
+        if self._pool.has_extent(extent):
+            self._pool.delete(extent)
+            self._pool.garbage_collect()
+        cost = self._overhead + self._pool.store(extent, data)
+        self._files[path] = len(data)
+        self._clock.advance(cost)
+        return cost
+
+    def read_file(self, path: str,
+                  token: AuthToken | None = None) -> tuple[bytes, float]:
+        path = self._normalize(path)
+        self._authorize(token, path, Action.READ)
+        if path not in self._files:
+            raise FileNotFoundError(f"no file {path!r}")
+        payload, cost = self._pool.fetch(self._extent(path))
+        total = self._overhead + cost
+        self._clock.advance(total)
+        return payload, total
+
+    def remove(self, path: str, token: AuthToken | None = None) -> None:
+        path = self._normalize(path)
+        self._authorize(token, path, Action.WRITE)
+        if path in self._files:
+            self._pool.delete(self._extent(path))
+            self._pool.garbage_collect()
+            del self._files[path]
+        elif path in self._dirs:
+            if self.listdir(path, token):
+                raise OSError(f"directory {path!r} not empty")
+            self._dirs.discard(path)
+        else:
+            raise FileNotFoundError(f"no such path {path!r}")
+        self._clock.advance(self._overhead)
+
+    def stat(self, path: str,
+             token: AuthToken | None = None) -> dict[str, object]:
+        path = self._normalize(path)
+        self._authorize(token, path, Action.READ)
+        if path in self._files:
+            return {"type": "file", "size": self._files[path]}
+        if path in self._dirs:
+            return {"type": "directory"}
+        raise FileNotFoundError(f"no such path {path!r}")

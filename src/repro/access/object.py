@@ -1,0 +1,127 @@
+"""Object service: S3-protocol buckets and objects over the pools.
+
+PUT/GET/DELETE/LIST with key prefixes and user metadata, charging the
+(comparatively heavy) HTTP-protocol overhead per request — which is why
+the paper's own services ride the DPC path instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.storage.pool import StoragePool
+from repro.access.auth import AccessControl, Action, AuthToken
+
+S3_OVERHEAD_S = 1_000e-6
+
+
+@dataclass
+class ObjectInfo:
+    key: str
+    size: int
+    etag: str
+    metadata: dict[str, str] = field(default_factory=dict)
+
+
+class S3ObjectService:
+    """Buckets of immutable objects."""
+
+    def __init__(self, pool: StoragePool, clock: SimClock,
+                 acl: AccessControl | None = None,
+                 overhead_s: float = S3_OVERHEAD_S) -> None:
+        self._pool = pool
+        self._clock = clock
+        self._acl = acl
+        self._overhead = overhead_s
+        self._buckets: dict[str, dict[str, ObjectInfo]] = {}
+
+    def _authorize(self, token: AuthToken | None, bucket: str,
+                   action: Action) -> None:
+        if self._acl is not None:
+            if token is None:
+                raise PermissionError("this object service requires a token")
+            self._acl.check(token, f"s3/{bucket}", action)
+
+    # --- buckets -------------------------------------------------------------
+
+    def create_bucket(self, bucket: str,
+                      token: AuthToken | None = None) -> None:
+        self._authorize(token, bucket, Action.ADMIN)
+        if bucket in self._buckets:
+            raise ValueError(f"bucket {bucket!r} already exists")
+        self._buckets[bucket] = {}
+        self._clock.advance(self._overhead)
+
+    def delete_bucket(self, bucket: str,
+                      token: AuthToken | None = None) -> None:
+        self._authorize(token, bucket, Action.ADMIN)
+        contents = self._require(bucket)
+        if contents:
+            raise OSError(f"bucket {bucket!r} not empty")
+        del self._buckets[bucket]
+
+    def _require(self, bucket: str) -> dict[str, ObjectInfo]:
+        contents = self._buckets.get(bucket)
+        if contents is None:
+            raise KeyError(f"no bucket {bucket!r}")
+        return contents
+
+    def buckets(self) -> list[str]:
+        return sorted(self._buckets)
+
+    # --- objects -----------------------------------------------------------------
+
+    def put_object(self, bucket: str, key: str, data: bytes,
+                   metadata: dict[str, str] | None = None,
+                   token: AuthToken | None = None) -> ObjectInfo:
+        self._authorize(token, bucket, Action.WRITE)
+        contents = self._require(bucket)
+        extent = f"s3/{bucket}/{key}"
+        if self._pool.has_extent(extent):
+            self._pool.delete(extent)
+            self._pool.garbage_collect()
+        cost = self._overhead + self._pool.store(extent, data)
+        import zlib
+
+        info = ObjectInfo(
+            key=key,
+            size=len(data),
+            etag=f"{zlib.crc32(data):08x}",
+            metadata=dict(metadata or {}),
+        )
+        contents[key] = info
+        self._clock.advance(cost)
+        return info
+
+    def get_object(self, bucket: str, key: str,
+                   token: AuthToken | None = None) -> tuple[bytes, ObjectInfo]:
+        self._authorize(token, bucket, Action.READ)
+        contents = self._require(bucket)
+        info = contents.get(key)
+        if info is None:
+            raise KeyError(f"no object {bucket}/{key}")
+        payload, cost = self._pool.fetch(f"s3/{bucket}/{key}")
+        self._clock.advance(self._overhead + cost)
+        return payload, info
+
+    def delete_object(self, bucket: str, key: str,
+                      token: AuthToken | None = None) -> None:
+        self._authorize(token, bucket, Action.WRITE)
+        contents = self._require(bucket)
+        if key not in contents:
+            raise KeyError(f"no object {bucket}/{key}")
+        self._pool.delete(f"s3/{bucket}/{key}")
+        self._pool.garbage_collect()
+        del contents[key]
+        self._clock.advance(self._overhead)
+
+    def list_objects(self, bucket: str, prefix: str = "",
+                     token: AuthToken | None = None) -> list[ObjectInfo]:
+        self._authorize(token, bucket, Action.READ)
+        contents = self._require(bucket)
+        self._clock.advance(self._overhead)
+        return [
+            contents[key] for key in sorted(contents)
+            if key.startswith(prefix)
+        ]

@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against (Section VII).
+
+* :mod:`~repro.baselines.kafka` — a Kafka-like broker cluster: file-backed
+  segmented logs on node-local disks, 3x replication, page-cache reads;
+* :mod:`~repro.baselines.hdfs` — an HDFS-like block store: 128 MB blocks,
+  namenode metadata, 3x replication;
+* :mod:`~repro.baselines.pipeline` — the four-stage ETL pipeline of Fig 12
+  runnable on the Kafka+HDFS stack or on StreamLake.
+
+Both baselines run on the same simulated disk substrate as StreamLake so
+measured differences are architectural, not calibration artifacts.
+"""
+
+from repro.baselines.kafka import KafkaCluster
+from repro.baselines.hdfs import HDFSCluster, HDFS_BLOCK_SIZE
+from repro.baselines.pipeline import (
+    KafkaHdfsPipeline,
+    PipelineResult,
+    StreamLakePipeline,
+)
+
+__all__ = [
+    "KafkaCluster",
+    "HDFSCluster",
+    "HDFS_BLOCK_SIZE",
+    "KafkaHdfsPipeline",
+    "StreamLakePipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,18 @@
+"""Benchmark harness helpers: result tables shaped like the paper's."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    scale_label,
+    shape_check,
+    within_band,
+)
+from repro.bench.reporting import ResultTable, format_ratio
+
+__all__ = [
+    "ResultTable",
+    "format_ratio",
+    "ExperimentResult",
+    "scale_label",
+    "shape_check",
+    "within_band",
+]

@@ -1,0 +1,96 @@
+"""Experiment runner utilities shared by the benchmark files.
+
+Benches produce structured result rows; the harness labels them with the
+paper-scale workload they represent, persists them as JSON next to the
+bench outputs (so EXPERIMENTS.md can be regenerated from artifacts rather
+than scrollback), and compares measured values against paper expectations
+with tolerance bands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: default directory for persisted bench results
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results"))
+
+
+def scale_label(paper_value: int, scale: int, unit: str = "") -> str:
+    """Label a scaled workload with its paper-scale size.
+
+    >>> scale_label(1_000_000_000, 5000)
+    '1,000,000,000 (run at 200,000)'
+    """
+    scaled = max(1, paper_value // scale)
+    suffix = f" {unit}" if unit else ""
+    return f"{paper_value:,}{suffix} (run at {scaled:,}{suffix})"
+
+
+@dataclass
+class ExperimentResult:
+    """One bench's structured output."""
+
+    experiment: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **cells: object) -> None:
+        self.rows.append(dict(cells))
+
+    def save(self, directory: Path | None = None) -> Path:
+        """Persist to ``<dir>/<experiment>.json``; returns the path."""
+        directory = directory if directory is not None else RESULTS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment}.json"
+        path.write_text(json.dumps(
+            {"experiment": self.experiment, "notes": self.notes,
+             "rows": self.rows},
+            indent=2, default=str,
+        ))
+        return path
+
+    @classmethod
+    def load(cls, experiment: str,
+             directory: Path | None = None) -> "ExperimentResult":
+        directory = directory if directory is not None else RESULTS_DIR
+        raw = json.loads((directory / f"{experiment}.json").read_text())
+        return cls(experiment=raw["experiment"], rows=raw["rows"],
+                   notes=raw.get("notes", ""))
+
+
+def within_band(measured: float, expected: float,
+                rel_tolerance: float) -> bool:
+    """Is ``measured`` within ±rel_tolerance of ``expected``?
+
+    The benches assert paper *shapes*; this helper is for the softer
+    "roughly the paper's factor" comparisons.
+    """
+    if rel_tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    low = expected * (1 - rel_tolerance)
+    high = expected * (1 + rel_tolerance)
+    if low > high:
+        low, high = high, low
+    return low <= measured <= high
+
+
+def shape_check(values: list[float], direction: str,
+                slack: float = 0.0) -> bool:
+    """Check a series is (weakly) increasing or decreasing, with slack.
+
+    ``slack`` allows each step to regress by that relative fraction —
+    simulation noise should not fail a monotonicity claim.
+    """
+    if direction not in ("increasing", "decreasing"):
+        raise ValueError("direction must be 'increasing' or 'decreasing'")
+    for previous, current in zip(values, values[1:]):
+        if direction == "increasing":
+            if current < previous * (1 - slack):
+                return False
+        else:
+            if current > previous * (1 + slack):
+                return False
+    return True

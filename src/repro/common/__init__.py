@@ -1,0 +1,16 @@
+"""Shared infrastructure: simulated clock, size units, codecs, statistics."""
+
+from repro.common.clock import SimClock
+from repro.common.units import GiB, KiB, MiB, TiB, format_bytes
+from repro.common.stats import OnlineStats, Percentiles
+
+__all__ = [
+    "SimClock",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_bytes",
+    "OnlineStats",
+    "Percentiles",
+]

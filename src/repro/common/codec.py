@@ -1,0 +1,53 @@
+"""Binary codecs with checksums for stored payloads.
+
+Stream records and columnar pages are persisted as framed byte strings:
+``[u32 length][u32 crc32][payload]``.  The checksum lets fault-injection
+tests detect corruption the same way the real system's end-to-end
+verification would.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import CorruptionError
+
+_HEADER = struct.Struct("<II")
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a length+crc32 frame."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def unframe(data: bytes) -> bytes:
+    """Validate and strip a frame produced by :func:`frame`.
+
+    Raises :class:`~repro.errors.CorruptionError` on any mismatch.
+    """
+    if len(data) < _HEADER.size:
+        raise CorruptionError(f"frame shorter than header: {len(data)} bytes")
+    length, crc = _HEADER.unpack_from(data)
+    payload = data[_HEADER.size : _HEADER.size + length]
+    if len(payload) != length:
+        raise CorruptionError(
+            f"frame truncated: header says {length} bytes, got {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CorruptionError("frame checksum mismatch")
+    return payload
+
+
+def frames(data: bytes) -> list[bytes]:
+    """Split a concatenation of frames back into payloads."""
+    payloads = []
+    cursor = 0
+    while cursor < len(data):
+        if cursor + _HEADER.size > len(data):
+            raise CorruptionError("trailing bytes shorter than a frame header")
+        length, _ = _HEADER.unpack_from(data, cursor)
+        end = cursor + _HEADER.size + length
+        payloads.append(unframe(data[cursor:end]))
+        cursor = end
+    return payloads

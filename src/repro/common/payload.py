@@ -1,0 +1,40 @@
+"""Lazy sized payloads for accounting-only writes.
+
+Baseline simulations (HDFS blocks, Kafka follower replicas) need to charge
+disks for bytes whose *content* is never read back.  :class:`Zeros` is a
+bytes-like stand-in with a length but O(1) memory, so writing a 128 MB
+replica does not allocate 128 MB.  Anything that actually reads content
+(the StreamLake pools, codecs) keeps using real ``bytes``.
+"""
+
+from __future__ import annotations
+
+
+class Zeros:
+    """An all-zero payload of a given length, without the allocation."""
+
+    __slots__ = ("_length",)
+
+    def __init__(self, length: int) -> None:
+        if length < 0:
+            raise ValueError(f"negative payload length {length!r}")
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bytes__(self) -> bytes:
+        return b"\0" * self._length
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Zeros):
+            return self._length == other._length
+        if isinstance(other, (bytes, bytearray)):
+            return len(other) == self._length and not any(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Zeros", self._length))
+
+    def __repr__(self) -> str:
+        return f"Zeros({self._length})"

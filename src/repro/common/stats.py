@@ -1,0 +1,98 @@
+"""Small statistics helpers used by the bench harness and services.
+
+:class:`OnlineStats` keeps running mean/variance without storing samples
+(Welford's algorithm); :class:`Percentiles` stores samples for quantile
+reporting (latency p50/p99) — bench runs are small enough that storing is
+fine and exact quantiles beat sketches for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+
+
+class OnlineStats:
+    """Running count/mean/variance/min/max over a stream of samples."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one (parallel merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class Percentiles:
+    """Sorted sample store supporting exact quantile queries."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        insort(self._samples, value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile by linear interpolation; q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        if len(self._samples) == 1:
+            return self._samples[0]
+        position = q * (len(self._samples) - 1)
+        low = int(position)
+        high = min(low + 1, len(self._samples) - 1)
+        fraction = position - low
+        return self._samples[low] * (1 - fraction) + self._samples[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)

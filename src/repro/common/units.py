@@ -1,0 +1,42 @@
+"""Binary size units and human-readable formatting helpers."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+PiB = 1024 * TiB
+
+_SUFFIXES = ("B", "KiB", "MiB", "GiB", "TiB", "PiB")
+
+
+def format_bytes(size: float) -> str:
+    """Render a byte count with the largest suffix keeping value >= 1.
+
+    >>> format_bytes(1536)
+    '1.50 KiB'
+    >>> format_bytes(0)
+    '0 B'
+    """
+    if size < 0:
+        raise ValueError(f"negative byte count: {size!r}")
+    if size == 0:
+        return "0 B"
+    value = float(size)
+    for suffix in _SUFFIXES:
+        if value < 1024 or suffix == _SUFFIXES[-1]:
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_rate(per_second: float, unit: str = "msg") -> str:
+    """Render a rate like '512.3k msg/s' for bench tables."""
+    if per_second >= 1_000_000:
+        return f"{per_second / 1_000_000:.2f}M {unit}/s"
+    if per_second >= 1_000:
+        return f"{per_second / 1_000:.1f}k {unit}/s"
+    return f"{per_second:.0f} {unit}/s"

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the StreamLake reproduction.
+
+All library errors derive from :class:`StreamLakeError` so callers can catch
+one base class.  Each subsystem raises the most specific subclass available;
+error messages carry enough context (object ids, offsets, paths) to diagnose
+a failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class StreamLakeError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StorageError(StreamLakeError):
+    """Base class for errors from the simulated store layer."""
+
+
+class CapacityError(StorageError):
+    """A disk, pool or PLog ran out of space."""
+
+
+class DiskFailedError(StorageError):
+    """An operation targeted a disk that has been failed (fault injection)."""
+
+
+class CorruptionError(StorageError):
+    """Stored payload failed validation (checksum / decode mismatch)."""
+
+
+class UnrecoverableDataError(StorageError):
+    """Too many redundancy members lost; data cannot be reconstructed."""
+
+
+class ObjectNotFoundError(StorageError):
+    """A stream/table object or PLog id does not exist."""
+
+
+class InvalidOffsetError(StorageError):
+    """Read from a stream object addressed an offset outside the log."""
+
+
+class StreamError(StreamLakeError):
+    """Base class for message streaming service errors."""
+
+
+class TopicNotFoundError(StreamError):
+    """Operation referenced a topic that was never created."""
+
+
+class TopicExistsError(StreamError):
+    """Topic creation collided with an existing topic name."""
+
+
+class QuotaExceededError(StreamError):
+    """A stream exceeded its configured messages/second quota."""
+
+
+class TransactionError(StreamError):
+    """A streaming transaction aborted (2PC participant failure)."""
+
+
+class TableError(StreamLakeError):
+    """Base class for lakehouse/table object errors."""
+
+
+class TableNotFoundError(TableError):
+    """Operation referenced a table missing from the catalog."""
+
+
+class TableExistsError(TableError):
+    """CREATE TABLE collided with an existing table name."""
+
+
+class SchemaError(TableError):
+    """A record or expression does not match the table schema."""
+
+
+class CommitConflictError(TableError):
+    """Optimistic concurrency control detected a conflicting commit."""
+
+
+class SnapshotNotFoundError(TableError):
+    """Time travel addressed a timestamp with no retained snapshot."""
+
+
+class OutOfMemoryError(StreamLakeError):
+    """Simulated compute-side memory budget exhausted (Fig 15(b))."""
+
+
+class ConfigError(StreamLakeError):
+    """Invalid configuration value."""

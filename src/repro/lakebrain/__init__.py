@@ -1,0 +1,63 @@
+"""LakeBrain: the storage-side data layout optimizer (Section VI).
+
+Two optimizations:
+
+* **automatic compaction** (Section VI-A): a reinforcement-learning agent
+  (:mod:`~repro.lakebrain.dqn`, :mod:`~repro.lakebrain.compaction`) decides
+  per partition whether to merge small files, trained in the ingestion
+  environment of :mod:`~repro.lakebrain.env`;
+* **predicate-aware partitioning** (Section VI-B): a query-tree partitioner
+  (:mod:`~repro.lakebrain.qdtree`) guided by a sum-product-network
+  cardinality estimator (:mod:`~repro.lakebrain.spn`), with Full/Day
+  baselines in :mod:`~repro.lakebrain.partitioning`.
+"""
+
+from repro.lakebrain.dqn import DQNAgent, ReplayBuffer
+from repro.lakebrain.env import CompactionEnv, EnvConfig
+from repro.lakebrain.features import featurize
+from repro.lakebrain.compaction import (
+    AutoCompactionPolicy,
+    DefaultCompactionPolicy,
+    NoCompactionPolicy,
+    binpack,
+    train_auto_compaction,
+)
+from repro.lakebrain.spn import SPN
+from repro.lakebrain.qdtree import QDTree
+from repro.lakebrain.partitioning import (
+    DayPartitioning,
+    FullScanPartitioning,
+    PredicateAwarePartitioning,
+    evaluate_partitioning,
+)
+from repro.lakebrain.cardinality import (
+    SamplingEstimator,
+    ScanEstimator,
+    SPNEstimator,
+    q_error,
+)
+from repro.lakebrain.service import CompactionService
+
+__all__ = [
+    "DQNAgent",
+    "ReplayBuffer",
+    "CompactionEnv",
+    "EnvConfig",
+    "featurize",
+    "AutoCompactionPolicy",
+    "DefaultCompactionPolicy",
+    "NoCompactionPolicy",
+    "binpack",
+    "train_auto_compaction",
+    "SPN",
+    "QDTree",
+    "FullScanPartitioning",
+    "DayPartitioning",
+    "PredicateAwarePartitioning",
+    "evaluate_partitioning",
+    "ScanEstimator",
+    "SamplingEstimator",
+    "SPNEstimator",
+    "q_error",
+    "CompactionService",
+]

@@ -1,0 +1,210 @@
+"""Compaction policies: the RL agent and the static baselines (Section VI-A).
+
+* :class:`AutoCompactionPolicy` — the trained DQN deciding per partition
+  whether to compact, "prioritizing scenarios with numerous small files
+  and low file ingestion speed and block utilization";
+* :class:`DefaultCompactionPolicy` — the paper's baseline: "a static
+  strategy which simply compacts data files in a 30-second interval";
+* :class:`NoCompactionPolicy` — never compacts (the Fig 16(a) baseline
+  both strategies are measured against).
+
+:func:`train_auto_compaction` runs the training loop of Fig 10, and
+:func:`run_policy` rolls any policy through an environment and reports the
+metrics Fig 16(a) and the block-utilization experiment need.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lakebrain.dqn import DQNAgent, DQNConfig
+from repro.lakebrain.env import CompactionEnv, EnvConfig, _binpack_sizes
+from repro.lakebrain.features import FEATURE_DIM, featurize
+
+ACTION_SKIP = 0
+ACTION_COMPACT = 1
+
+
+def binpack(file_sizes: list[int], target: int) -> list[int]:
+    """Public alias of the binpack merge plan (paper's strategy [7])."""
+    return _binpack_sizes(file_sizes, target)
+
+
+class CompactionPolicy(ABC):
+    """Per-partition compaction decision."""
+
+    @abstractmethod
+    def decide(self, env: CompactionEnv, partition_index: int) -> int:
+        """ACTION_COMPACT or ACTION_SKIP for a partition at this step."""
+
+
+class NoCompactionPolicy(CompactionPolicy):
+    def decide(self, env: CompactionEnv, partition_index: int) -> int:
+        return ACTION_SKIP
+
+
+class DefaultCompactionPolicy(CompactionPolicy):
+    """Static baseline: compact every ``interval_steps`` (30 s default)."""
+
+    def __init__(self, interval_steps: int = 30) -> None:
+        if interval_steps < 1:
+            raise ValueError("interval must be >= 1 step")
+        self.interval_steps = interval_steps
+
+    def decide(self, env: CompactionEnv, partition_index: int) -> int:
+        if env.step_index > 0 and env.step_index % self.interval_steps == 0:
+            return ACTION_COMPACT
+        return ACTION_SKIP
+
+
+class AutoCompactionPolicy(CompactionPolicy):
+    """The trained DQN, greedy at inference time."""
+
+    def __init__(self, agent: DQNAgent) -> None:
+        self.agent = agent
+
+    def decide(self, env: CompactionEnv, partition_index: int) -> int:
+        state = featurize(env, partition_index)
+        return self.agent.act(state, greedy=True)
+
+
+@dataclass
+class TrainingReport:
+    episodes: int
+    final_mean_reward: float
+    reward_curve: list[float] = field(default_factory=list)
+
+
+def train_auto_compaction(env_config: EnvConfig | None = None,
+                          episodes: int = 30, seed: int = 0,
+                          dqn_config: DQNConfig | None = None,
+                          rate_range: tuple[float, float] | None = (1.0, 8.0),
+                          restarts: int = 3
+                          ) -> tuple[AutoCompactionPolicy, TrainingReport]:
+    """Train the agent (Fig 10's loop) with restart selection.
+
+    ``rate_range`` randomizes each episode's file-ingestion speed so the
+    policy generalizes across load levels (ingestion speed is a state
+    feature); pass None to train at the config's fixed rate.
+
+    DQN training is initialization-sensitive, so ``restarts`` independent
+    agents are trained and the one with the best validation rollout
+    (mean block utilization on a held-out seed) is returned —
+    deterministic given ``seed``.
+    """
+    if restarts < 1:
+        raise ValueError("need at least one training restart")
+    best: tuple[AutoCompactionPolicy, TrainingReport] | None = None
+    best_score = -1.0
+    for restart in range(restarts):
+        policy, report = _train_one(
+            env_config, episodes, seed + 101 * restart, dqn_config, rate_range
+        )
+        score = 0.0
+        for rate in (2.0, 6.0):
+            validation = EnvConfig(
+                **{**(env_config.__dict__ if env_config else EnvConfig().__dict__),
+                   "ingestion_rate": rate}
+            )
+            rollout = run_policy(policy, validation, steps=60, seed=1234)
+            score += rollout.mean_block_utilization
+        if score > best_score:
+            best_score = score
+            best = (policy, report)
+    assert best is not None
+    return best
+
+
+def _train_one(env_config: EnvConfig | None, episodes: int, seed: int,
+               dqn_config: DQNConfig | None,
+               rate_range: tuple[float, float] | None
+               ) -> tuple[AutoCompactionPolicy, TrainingReport]:
+    """One training run (no restart selection)."""
+    import dataclasses
+
+    env_config = env_config if env_config is not None else EnvConfig()
+    agent = DQNAgent(FEATURE_DIM, 2, config=dqn_config, seed=seed)
+    rate_rng = np.random.default_rng(seed + 77)
+    curve: list[float] = []
+    for episode in range(episodes):
+        episode_config = env_config
+        if rate_range is not None:
+            episode_config = dataclasses.replace(
+                env_config,
+                ingestion_rate=float(rate_rng.uniform(*rate_range)),
+            )
+        env = CompactionEnv(episode_config, seed=seed * 1000 + episode)
+        episode_reward = 0.0
+        transitions = 0
+        for _ in range(episode_config.steps_per_episode):
+            env.ingest()
+            states = [
+                featurize(env, index)
+                for index in range(len(env.partitions))
+            ]
+            for index, state in enumerate(states):
+                action = agent.act(state)
+                if action == ACTION_COMPACT:
+                    outcome = env.compact(index)
+                else:
+                    outcome = env.skip(index)
+                next_state = featurize(env, index)
+                agent.observe(
+                    state, action, outcome.reward, next_state, done=False
+                )
+                episode_reward += outcome.reward
+                transitions += 1
+            env.serve_queries()
+            env.step_index += 1
+            agent.learn()
+        curve.append(episode_reward / max(1, transitions))
+    report = TrainingReport(
+        episodes=episodes,
+        final_mean_reward=curve[-1] if curve else 0.0,
+        reward_curve=curve,
+    )
+    return AutoCompactionPolicy(agent), report
+
+
+@dataclass
+class PolicyRunReport:
+    """Metrics of rolling a policy through an environment."""
+
+    steps: int
+    total_query_cost: float
+    mean_block_utilization: float
+    compactions_attempted: int
+    compactions_failed: int
+    utilization_curve: list[float] = field(default_factory=list)
+
+    @property
+    def mean_query_cost(self) -> float:
+        return self.total_query_cost / max(1, self.steps)
+
+
+def run_policy(policy: CompactionPolicy, env_config: EnvConfig | None = None,
+               steps: int | None = None, seed: int = 99) -> PolicyRunReport:
+    """Roll one policy through a fresh environment and meter it."""
+    env_config = env_config if env_config is not None else EnvConfig()
+    env = CompactionEnv(env_config, seed=seed)
+    steps = steps if steps is not None else env_config.steps_per_episode
+    utilization_curve: list[float] = []
+    for _ in range(steps):
+        env.ingest()
+        for index in range(len(env.partitions)):
+            if policy.decide(env, index) == ACTION_COMPACT:
+                env.compact(index)
+        env.serve_queries()
+        env.step_index += 1
+        utilization_curve.append(env.global_utilization())
+    return PolicyRunReport(
+        steps=steps,
+        total_query_cost=env.total_query_cost,
+        mean_block_utilization=float(np.mean(utilization_curve)),
+        compactions_attempted=env.total_compactions,
+        compactions_failed=env.total_conflicts,
+        utilization_curve=utilization_curve,
+    )

@@ -1,0 +1,200 @@
+"""Deep Q-Network in pure NumPy (Section VI-A's policy network).
+
+A small MLP Q-function with experience replay and a periodically synced
+target network — the classic DQN recipe the paper cites ([44], [45]).
+Implemented from scratch: forward pass, backprop and Adam updates are all
+explicit so the reproduction has no deep-learning dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of (s, a, r, s', done) transitions."""
+
+    def __init__(self, capacity: int, state_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity, dtype=np.float64)
+        self._next_states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self._dones = np.zeros(capacity, dtype=np.float64)
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, state: np.ndarray, action: int, reward: float,
+            next_state: np.ndarray, done: bool) -> None:
+        index = self._cursor
+        self._states[index] = state
+        self._actions[index] = action
+        self._rewards[index] = reward
+        self._next_states[index] = next_state
+        self._dones[index] = float(done)
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> tuple[np.ndarray, ...]:
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        indices = self._rng.integers(0, self._size, size=batch_size)
+        return (
+            self._states[indices],
+            self._actions[indices],
+            self._rewards[indices],
+            self._next_states[indices],
+            self._dones[indices],
+        )
+
+
+class _MLP:
+    """Two-hidden-layer ReLU network with Adam."""
+
+    def __init__(self, dims: list[int], rng: np.random.Generator) -> None:
+        self.weights = []
+        self.biases = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._m = [np.zeros_like(w) for w in self.weights + self.biases]
+        self._v = [np.zeros_like(w) for w in self.weights + self.biases]
+        self._step = 0
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Returns (output, activations) — activations kept for backprop."""
+        activations = [x]
+        out = x
+        last = len(self.weights) - 1
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            out = out @ weight + bias
+            if index != last:
+                out = np.maximum(out, 0.0)
+            activations.append(out)
+        return out, activations
+
+    def backward(self, activations: list[np.ndarray],
+                 grad_out: np.ndarray) -> list[np.ndarray]:
+        """Gradients for weights then biases, ordered like parameters."""
+        weight_grads: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        bias_grads: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        grad = grad_out
+        for index in range(len(self.weights) - 1, -1, -1):
+            if index != len(self.weights) - 1:
+                grad = grad * (activations[index + 1] > 0)
+            weight_grads[index] = activations[index].T @ grad
+            bias_grads[index] = grad.sum(axis=0)
+            if index > 0:
+                grad = grad @ self.weights[index].T
+        return weight_grads + bias_grads
+
+    def adam_step(self, grads: list[np.ndarray], lr: float,
+                  beta1: float = 0.9, beta2: float = 0.999,
+                  eps: float = 1e-8) -> None:
+        self._step += 1
+        params = self.weights + self.biases
+        for index, (param, grad) in enumerate(zip(params, grads)):
+            self._m[index] = beta1 * self._m[index] + (1 - beta1) * grad
+            self._v[index] = beta2 * self._v[index] + (1 - beta2) * grad**2
+            m_hat = self._m[index] / (1 - beta1**self._step)
+            v_hat = self._v[index] / (1 - beta2**self._step)
+            param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def copy_from(self, other: "_MLP") -> None:
+        for mine, theirs in zip(self.weights, other.weights):
+            mine[...] = theirs
+        for mine, theirs in zip(self.biases, other.biases):
+            mine[...] = theirs
+
+
+@dataclass
+class DQNConfig:
+    """Hyperparameters; defaults tuned for the compaction environment."""
+
+    hidden: int = 64
+    gamma: float = 0.95
+    lr: float = 2e-3
+    batch_size: int = 64
+    buffer_capacity: int = 20_000
+    target_sync_every: int = 200
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.10
+    epsilon_decay_steps: int = 12_000
+
+
+class DQNAgent:
+    """Q-learning agent over a discrete action space."""
+
+    def __init__(self, state_dim: int, num_actions: int,
+                 config: DQNConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else DQNConfig()
+        self.state_dim = state_dim
+        self.num_actions = num_actions
+        self._rng = np.random.default_rng(seed)
+        dims = [state_dim, self.config.hidden, self.config.hidden, num_actions]
+        self.online = _MLP(dims, self._rng)
+        self.target = _MLP(dims, self._rng)
+        self.target.copy_from(self.online)
+        self.buffer = ReplayBuffer(
+            self.config.buffer_capacity, state_dim, self._rng
+        )
+        self.train_steps = 0
+        self.env_steps = 0
+
+    @property
+    def epsilon(self) -> float:
+        config = self.config
+        fraction = min(1.0, self.env_steps / config.epsilon_decay_steps)
+        return config.epsilon_start + fraction * (
+            config.epsilon_end - config.epsilon_start
+        )
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        out, _ = self.online.forward(state.reshape(1, -1))
+        return out[0]
+
+    def act(self, state: np.ndarray, greedy: bool = False) -> int:
+        """Epsilon-greedy during training; pure argmax for inference."""
+        self.env_steps += not greedy
+        if not greedy and self._rng.random() < self.epsilon:
+            return int(self._rng.integers(self.num_actions))
+        return int(np.argmax(self.q_values(state)))
+
+    def observe(self, state: np.ndarray, action: int, reward: float,
+                next_state: np.ndarray, done: bool) -> None:
+        self.buffer.add(state, action, reward, next_state, done)
+
+    def learn(self) -> float | None:
+        """One gradient step on a replay batch; returns TD loss (or None
+        while the buffer is still warming up)."""
+        config = self.config
+        if len(self.buffer) < config.batch_size:
+            return None
+        states, actions, rewards, next_states, dones = self.buffer.sample(
+            config.batch_size
+        )
+        next_q, _ = self.target.forward(next_states)
+        targets = rewards + config.gamma * (1 - dones) * next_q.max(axis=1)
+        q_all, activations = self.online.forward(states)
+        batch_indices = np.arange(config.batch_size)
+        prediction = q_all[batch_indices, actions]
+        error = prediction - targets
+        loss = float(np.mean(error**2))
+        grad_out = np.zeros_like(q_all)
+        grad_out[batch_indices, actions] = 2 * error / config.batch_size
+        grads = self.online.backward(activations, grad_out)
+        self.online.adam_step(grads, config.lr)
+        self.train_steps += 1
+        if self.train_steps % config.target_sync_every == 0:
+            self.target.copy_from(self.online)
+        return loss

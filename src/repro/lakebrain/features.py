@@ -1,0 +1,48 @@
+"""State featurization for the compaction agent (Section VI-A).
+
+"The features can be categorized into two sets, i.e., one for the entire
+storage system and the other for individual partitions. ... The two
+features will be concatenated as the input of the policy network."
+
+Global features: target file size, ingestion speed, query rate, global
+block utilization.  Partition features: access frequency, number of
+files, small-file ratio, partition block utilization, ingestion pressure,
+steps since the last compaction.  All values are normalized to roughly
+[0, 1] so one network serves every partition.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.units import MiB
+from repro.lakebrain.env import CompactionEnv
+
+#: dimensionality of the concatenated feature vector
+FEATURE_DIM = 10
+
+
+def featurize(env: CompactionEnv, partition_index: int) -> np.ndarray:
+    """Concatenated [global || partition] feature vector."""
+    config = env.config
+    partition = env.partitions[partition_index]
+    small_files = [s for s in partition.files if s < config.target_file_size]
+    global_features = [
+        math.log2(max(1.0, config.target_file_size / MiB)) / 12.0,
+        min(1.0, config.ingestion_rate / 20.0),
+        min(1.0, config.query_rate / 20.0),
+        env.global_utilization(),
+    ]
+    partition_features = [
+        min(1.0, partition.access_frequency),
+        min(1.0, len(partition.files) / 64.0),
+        len(small_files) / max(1, len(partition.files)),
+        partition.utilization(config.block_size),
+        min(1.0, partition.ingested_this_step / 10.0),
+        min(1.0, partition.steps_since_compaction / 50.0),
+    ]
+    vector = np.array(global_features + partition_features, dtype=np.float64)
+    assert vector.shape == (FEATURE_DIM,)
+    return vector

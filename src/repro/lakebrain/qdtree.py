@@ -1,0 +1,245 @@
+"""Predicate-aware partitioning via a query tree (Section VI-B, Fig 11).
+
+The partitioner builds a binary decision tree whose inner nodes are atomic
+workload predicates (attribute, operator, literal) and whose leaves are
+partitions — the QD-tree framework [28].  Cut selection is greedy: at each
+node we pick the candidate predicate that maximizes the number of tuples
+queries can *skip* (a query skips a subtree when its conjunction with the
+subtree's constraints is unsatisfiable), estimated with the SPN cardinality
+model instead of the scan/sample quantification the paper criticizes.
+
+Leaves respect a minimum partition size so the tree does not shatter the
+table into unskippable dust.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.lakebrain.spn import SPN
+from repro.table.expr import Expression, Predicate
+
+
+@dataclass(frozen=True)
+class _Interval:
+    """A (possibly open) interval over an ordered domain."""
+
+    low: object = None  # None = unbounded
+    high: object = None
+    low_open: bool = False
+    high_open: bool = False
+
+    def intersect(self, other: "_Interval") -> "_Interval":
+        low, low_open = self.low, self.low_open
+        if other.low is not None and (low is None or other.low > low or
+                                      (other.low == low and other.low_open)):
+            low, low_open = other.low, other.low_open
+        high, high_open = self.high, self.high_open
+        if other.high is not None and (high is None or other.high < high or
+                                       (other.high == high and other.high_open)):
+            high, high_open = other.high, other.high_open
+        return _Interval(low, high, low_open, high_open)
+
+    @property
+    def empty(self) -> bool:
+        if self.low is None or self.high is None:
+            return False
+        try:
+            if self.low > self.high:  # type: ignore[operator]
+                return True
+            if self.low == self.high and (self.low_open or self.high_open):
+                return True
+        except TypeError:
+            return False
+        return False
+
+
+def _atom_interval(atom: Predicate) -> _Interval:
+    if atom.op == "=":
+        return _Interval(atom.literal, atom.literal)
+    if atom.op == "IN":
+        values = list(atom.literal)  # type: ignore[arg-type]
+        return _Interval(min(values), max(values))
+    if atom.op == "<":
+        return _Interval(high=atom.literal, high_open=True)
+    if atom.op == "<=":
+        return _Interval(high=atom.literal)
+    if atom.op == ">":
+        return _Interval(low=atom.literal, low_open=True)
+    return _Interval(low=atom.literal)
+
+
+def _negated_interval(atom: Predicate) -> _Interval | None:
+    """The complement of an atom as a single interval, when one exists."""
+    if atom.op == "<":
+        return _Interval(low=atom.literal)
+    if atom.op == "<=":
+        return _Interval(low=atom.literal, low_open=True)
+    if atom.op == ">":
+        return _Interval(high=atom.literal)
+    if atom.op == ">=":
+        return _Interval(high=atom.literal, high_open=True)
+    return None  # NOT(=) / NOT(IN) is not an interval
+
+
+def _query_intervals(query: Expression) -> dict[str, _Interval]:
+    intervals: dict[str, _Interval] = {}
+    for atom in query.atoms():
+        interval = _atom_interval(atom)
+        current = intervals.get(atom.column)
+        intervals[atom.column] = (
+            interval if current is None else current.intersect(interval)
+        )
+    return intervals
+
+
+def _unsat_with(query_intervals: dict[str, _Interval], column: str,
+                extra: _Interval) -> bool:
+    """Is (query AND column in extra) unsatisfiable?"""
+    current = query_intervals.get(column)
+    if current is None:
+        return False
+    return current.intersect(extra).empty
+
+
+@dataclass
+class _TreeNode:
+    cut: Predicate | None = None
+    true_child: "_TreeNode | None" = None
+    false_child: "_TreeNode | None" = None
+    leaf_id: int = -1
+
+
+class QDTree:
+    """A built query tree routing rows to partition ids."""
+
+    def __init__(self, root: _TreeNode, num_leaves: int,
+                 cuts_used: list[Predicate]) -> None:
+        self._root = root
+        self.num_leaves = num_leaves
+        self.cuts_used = cuts_used
+
+    # --- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, workload: list[Expression], spn: SPN,
+              sample_rows: list[dict[str, object]],
+              min_partition_rows: int = 1000,
+              max_depth: int = 12) -> "QDTree":
+        """Greedy top-down construction.
+
+        ``sample_rows`` route through candidate cuts; benefits are scaled
+        to full-table cardinalities with the SPN.
+        """
+        if not sample_rows:
+            raise ValueError("QD-tree construction needs sample rows")
+        candidates = cls._candidate_cuts(workload)
+        query_intervals = [_query_intervals(query) for query in workload]
+        scale = spn.row_count / len(sample_rows)
+        counter = itertools.count()
+        cuts_used: list[Predicate] = []
+
+        def grow(rows: list[dict[str, object]], depth: int,
+                 constraints: dict[str, _Interval]) -> _TreeNode:
+            estimated_rows = len(rows) * scale
+            if depth >= max_depth or estimated_rows < 2 * min_partition_rows:
+                return _TreeNode(leaf_id=next(counter))
+            best_cut = None
+            best_benefit = 0.0
+            best_split: tuple[list, list] | None = None
+            for cut in candidates:
+                true_rows = [row for row in rows if cut.matches(row)]
+                if not true_rows or len(true_rows) == len(rows):
+                    continue
+                false_rows = [row for row in rows if not cut.matches(row)]
+                if (len(true_rows) * scale < min_partition_rows
+                        or len(false_rows) * scale < min_partition_rows):
+                    continue
+                benefit = cls._benefit(
+                    cut, len(true_rows) * scale, len(false_rows) * scale,
+                    query_intervals,
+                )
+                if benefit > best_benefit:
+                    best_benefit = benefit
+                    best_cut = cut
+                    best_split = (true_rows, false_rows)
+            if best_cut is None or best_split is None:
+                return _TreeNode(leaf_id=next(counter))
+            cuts_used.append(best_cut)
+            true_rows, false_rows = best_split
+            node = _TreeNode(cut=best_cut)
+            node.true_child = grow(true_rows, depth + 1, constraints)
+            node.false_child = grow(false_rows, depth + 1, constraints)
+            return node
+
+        root = grow(sample_rows, 0, {})
+        num_leaves = next(counter)
+        return cls(root, num_leaves, cuts_used)
+
+    @staticmethod
+    def _candidate_cuts(workload: list[Expression]) -> list[Predicate]:
+        seen: dict[tuple, Predicate] = {}
+        for query in workload:
+            for atom in query.atoms():
+                key = (atom.column, atom.op, repr(atom.literal))
+                seen.setdefault(key, atom)
+        return list(seen.values())
+
+    @staticmethod
+    def _benefit(cut: Predicate, true_rows: float, false_rows: float,
+                 query_intervals: list[dict[str, _Interval]]) -> float:
+        """Tuples the workload skips if we split on ``cut``."""
+        cut_interval = _atom_interval(cut)
+        negated = _negated_interval(cut)
+        benefit = 0.0
+        for intervals in query_intervals:
+            if _unsat_with(intervals, cut.column, cut_interval):
+                benefit += true_rows  # the query never enters the true side
+            elif negated is not None and _unsat_with(
+                intervals, cut.column, negated
+            ):
+                benefit += false_rows  # the query never enters the false side
+        return benefit
+
+    # --- routing / planning ---------------------------------------------------
+
+    def route(self, row: dict[str, object]) -> int:
+        """Partition id for one row."""
+        node = self._root
+        while node.cut is not None:
+            node = (
+                node.true_child if node.cut.matches(row) else node.false_child
+            )  # type: ignore[assignment]
+        return node.leaf_id
+
+    def depth(self) -> int:
+        def walk(node: _TreeNode) -> int:
+            if node.cut is None:
+                return 0
+            return 1 + max(
+                walk(node.true_child), walk(node.false_child)  # type: ignore[arg-type]
+            )
+
+        return walk(self._root)
+
+    def leaves_for_query(self, query: Expression) -> set[int]:
+        """Leaf ids a query must visit (interval-logic pruning)."""
+        intervals = _query_intervals(query)
+        visited: set[int] = set()
+
+        def walk(node: _TreeNode) -> None:
+            if node.cut is None:
+                visited.add(node.leaf_id)
+                return
+            cut_interval = _atom_interval(node.cut)
+            negated = _negated_interval(node.cut)
+            if not _unsat_with(intervals, node.cut.column, cut_interval):
+                walk(node.true_child)  # type: ignore[arg-type]
+            if negated is None or not _unsat_with(
+                intervals, node.cut.column, negated
+            ):
+                walk(node.false_child)  # type: ignore[arg-type]
+
+        walk(self._root)
+        return visited

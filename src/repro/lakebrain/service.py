@@ -1,0 +1,174 @@
+"""LakeBrain as a storage-side service over real table objects.
+
+The training environment (:mod:`~repro.lakebrain.env`) is a fast
+abstraction; this module applies a trained policy to *actual*
+:class:`~repro.table.table.TableObject` partitions: "for inference, as
+the streaming data comes continuously, we can trigger the trained RL
+model every few moments to determine whether to compact the files"
+(Section VI-A).
+
+Each cycle the service featurizes every partition of every watched table
+(same feature layout the agent trained on), asks the policy, and runs
+:meth:`TableObject.compact` where it says yes — handling the commit
+conflicts the paper's reward function penalizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.clock import SimClock
+from repro.common.units import MiB
+from repro.errors import CommitConflictError
+from repro.lakebrain.compaction import (
+    ACTION_COMPACT,
+    AutoCompactionPolicy,
+    CompactionPolicy,
+)
+from repro.lakebrain.env import block_utilization
+from repro.lakebrain.features import FEATURE_DIM
+from repro.table.table import TableObject
+
+
+@dataclass
+class TableCompactionStats:
+    """Per-table outcome counters."""
+
+    cycles: int = 0
+    compactions: int = 0
+    conflicts: int = 0
+    files_before: int = 0
+    files_after: int = 0
+
+
+@dataclass
+class _PartitionTracker:
+    last_compacted_cycle: int = 0
+    access_frequency: float = 0.0
+
+
+class CompactionService:
+    """Applies a compaction policy to live lakehouse tables."""
+
+    def __init__(self, clock: SimClock, policy: CompactionPolicy,
+                 block_size: int = 4 * MiB,
+                 target_file_bytes: int = 64 * MiB) -> None:
+        self._clock = clock
+        self.policy = policy
+        self.block_size = block_size
+        self.target_file_bytes = target_file_bytes
+        self._tables: dict[str, TableObject] = {}
+        self._trackers: dict[tuple[str, str], _PartitionTracker] = {}
+        self.stats: dict[str, TableCompactionStats] = {}
+        self._cycle = 0
+
+    def watch(self, table: TableObject) -> None:
+        """Register a table for compaction management."""
+        self._tables[table.name] = table
+        self.stats.setdefault(table.name, TableCompactionStats())
+
+    def unwatch(self, table_name: str) -> None:
+        self._tables.pop(table_name, None)
+
+    def note_access(self, table_name: str, partition: str) -> None:
+        """Query-router hint: a partition was just read (feeds features)."""
+        tracker = self._trackers.setdefault(
+            (table_name, partition), _PartitionTracker()
+        )
+        tracker.access_frequency = 0.8 * tracker.access_frequency + 0.2
+
+    # --- featurization over real tables -----------------------------------
+
+    def _features(self, table: TableObject, partition: str,
+                  sizes: list[int], global_utilization: float,
+                  ingested: int) -> np.ndarray:
+        tracker = self._trackers.setdefault(
+            (table.name, partition), _PartitionTracker()
+        )
+        small = [s for s in sizes if s < self.target_file_bytes]
+        vector = np.array([
+            math.log2(max(1.0, self.target_file_bytes / MiB)) / 12.0,
+            min(1.0, ingested / 20.0),
+            min(1.0, 0.0),  # query rate unknown at storage side: neutral
+            global_utilization,
+            min(1.0, tracker.access_frequency),
+            min(1.0, len(sizes) / 64.0),
+            len(small) / max(1, len(sizes)),
+            block_utilization(sizes, self.block_size),
+            min(1.0, ingested / 10.0),
+            min(1.0, (self._cycle - tracker.last_compacted_cycle) / 50.0),
+        ], dtype=np.float64)
+        assert vector.shape == (FEATURE_DIM,)
+        return vector
+
+    # --- the inference cycle ------------------------------------------------
+
+    def run_cycle(self) -> dict[str, TableCompactionStats]:
+        """One trigger: decide + compact per (table, partition)."""
+        self._cycle += 1
+        for table in self._tables.values():
+            stats = self.stats[table.name]
+            stats.cycles += 1
+            partitions = table.partitions()
+            all_sizes = [
+                meta.size_bytes
+                for metas in partitions.values()
+                for meta in metas
+            ]
+            global_utilization = block_utilization(all_sizes, self.block_size)
+            for partition, metas in sorted(partitions.items()):
+                sizes = [meta.size_bytes for meta in metas]
+                if len(sizes) < 2:
+                    continue
+                previous = self._trackers.get((table.name, partition))
+                ingested = len(sizes)  # files accumulated since compaction
+                decision = self._decide(
+                    table, partition, sizes, global_utilization, ingested
+                )
+                if decision != ACTION_COMPACT:
+                    continue
+                stats.files_before += len(sizes)
+                try:
+                    table.compact(partition, self.target_file_bytes)
+                    stats.compactions += 1
+                    tracker = self._trackers.setdefault(
+                        (table.name, partition), _PartitionTracker()
+                    )
+                    tracker.last_compacted_cycle = self._cycle
+                except CommitConflictError:
+                    stats.conflicts += 1
+                stats.files_after += len(
+                    table.partitions().get(partition, [])
+                )
+                del previous
+        return dict(self.stats)
+
+    def _decide(self, table: TableObject, partition: str, sizes: list[int],
+                global_utilization: float, ingested: int) -> int:
+        if isinstance(self.policy, AutoCompactionPolicy):
+            features = self._features(
+                table, partition, sizes, global_utilization, ingested
+            )
+            return self.policy.agent.act(features, greedy=True)
+        # static policies decide on the cycle counter alone
+        return self._static_decision()
+
+    def _static_decision(self) -> int:
+        from repro.lakebrain.compaction import ACTION_SKIP, DefaultCompactionPolicy
+
+        if isinstance(self.policy, DefaultCompactionPolicy):
+            if self._cycle % self.policy.interval_steps == 0:
+                return ACTION_COMPACT
+        return ACTION_SKIP
+
+    # --- observability ------------------------------------------------------------
+
+    def table_utilization(self, table_name: str) -> float:
+        table = self._tables[table_name]
+        sizes = [
+            meta.size_bytes for meta in table.snapshots.live_files()
+        ]
+        return block_utilization(sizes, self.block_size)

@@ -1,0 +1,5 @@
+"""Data-service-layer platform pieces: the serverless function engine."""
+
+from repro.service.functions import FunctionEngine, FunctionSpec, Invocation
+
+__all__ = ["FunctionEngine", "FunctionSpec", "Invocation"]

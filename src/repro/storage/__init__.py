@@ -1,0 +1,50 @@
+"""Simulated OceanStor-like store layer.
+
+This package is the substrate everything else runs on: simulated SSD/HDD
+disks with latency/bandwidth cost models (:mod:`~repro.storage.disk`),
+storage pools with slice allocation and garbage collection
+(:mod:`~repro.storage.pool`), a 4096-shard distributed hash table
+(:mod:`~repro.storage.dht`), persistence logs striped over disks under a
+redundancy policy (:mod:`~repro.storage.plog`), Reed-Solomon erasure coding
+(:mod:`~repro.storage.ec`), the RDMA/TCP data bus (:mod:`~repro.storage.bus`),
+an SSD<->HDD tiering service (:mod:`~repro.storage.tiering`), a distributed
+key-value engine (:mod:`~repro.storage.kv`) and a persistent-memory cache
+model (:mod:`~repro.storage.scm`).
+"""
+
+from repro.storage.disk import Disk, DiskProfile, HDD_PROFILE, NVME_SSD_PROFILE
+from repro.storage.pool import StoragePool
+from repro.storage.dht import ShardMap, NUM_SHARDS
+from repro.storage.plog import PLogUnit, PLogManager, PLOG_ADDRESS_SPACE
+from repro.storage.ec import ReedSolomon
+from repro.storage.replication import Replication
+from repro.storage.redundancy import RedundancyPolicy, erasure_coding_policy
+from repro.storage.bus import DataBus, TransportKind
+from repro.storage.kv import KVEngine
+from repro.storage.scm import SCMCache
+from repro.storage.tiering import TieringService, TieringPolicy
+from repro.storage.georep import RemoteReplicationService
+
+__all__ = [
+    "Disk",
+    "DiskProfile",
+    "HDD_PROFILE",
+    "NVME_SSD_PROFILE",
+    "StoragePool",
+    "ShardMap",
+    "NUM_SHARDS",
+    "PLogUnit",
+    "PLogManager",
+    "PLOG_ADDRESS_SPACE",
+    "ReedSolomon",
+    "Replication",
+    "RedundancyPolicy",
+    "erasure_coding_policy",
+    "DataBus",
+    "TransportKind",
+    "KVEngine",
+    "SCMCache",
+    "TieringService",
+    "TieringPolicy",
+    "RemoteReplicationService",
+]

@@ -1,0 +1,94 @@
+"""Distributed hash table for slice placement.
+
+Section IV-A / Fig 4(d): data slices are distributed evenly onto **4096
+logical shards**; each shard's space is managed by a PLog unit.  Shards are
+mapped onto PLog owners (nodes) by rendezvous (highest-random-weight)
+hashing, which gives the two properties the paper leans on:
+
+* **even distribution** — every node owns ~4096/N shards;
+* **minimal movement on membership change** — adding a node steals only the
+  shards it now wins, so the system "scales with minimum data migration".
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+NUM_SHARDS = 4096
+
+
+def _hash64(data: str) -> int:
+    return int.from_bytes(hashlib.blake2b(data.encode(), digest_size=8).digest(), "big")
+
+
+def shard_of(key: str, num_shards: int = NUM_SHARDS) -> int:
+    """Map a slice key to one of the logical shards."""
+    return _hash64(key) % num_shards
+
+
+class ShardMap:
+    """Rendezvous-hash mapping of logical shards to named owners."""
+
+    def __init__(self, owners: list[str] | None = None,
+                 num_shards: int = NUM_SHARDS) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.num_shards = num_shards
+        self._owners: list[str] = []
+        self._assignment: list[str | None] = [None] * num_shards
+        for owner in owners or []:
+            self.add_owner(owner)
+
+    @property
+    def owners(self) -> list[str]:
+        return list(self._owners)
+
+    def _winner(self, shard: int) -> str:
+        return max(self._owners, key=lambda owner: _hash64(f"{owner}#{shard}"))
+
+    def add_owner(self, owner: str) -> int:
+        """Register an owner; returns how many shards moved to it."""
+        if owner in self._owners:
+            raise ValueError(f"owner {owner!r} already registered")
+        self._owners.append(owner)
+        moved = 0
+        for shard in range(self.num_shards):
+            winner = self._winner(shard)
+            if winner != self._assignment[shard]:
+                self._assignment[shard] = winner
+                moved += 1
+        return moved
+
+    def remove_owner(self, owner: str) -> int:
+        """Deregister an owner; returns how many shards were reassigned."""
+        if owner not in self._owners:
+            raise ValueError(f"owner {owner!r} not registered")
+        self._owners.remove(owner)
+        moved = 0
+        for shard in range(self.num_shards):
+            if self._assignment[shard] != owner:
+                continue
+            self._assignment[shard] = self._winner(shard) if self._owners else None
+            moved += 1
+        return moved
+
+    def owner_of(self, shard: int) -> str:
+        """Owner currently responsible for ``shard``."""
+        owner = self._assignment[shard]
+        if owner is None:
+            raise LookupError("shard map has no owners")
+        return owner
+
+    def owner_of_key(self, key: str) -> str:
+        return self.owner_of(shard_of(key, self.num_shards))
+
+    def shards_of(self, owner: str) -> list[int]:
+        return [s for s in range(self.num_shards) if self._assignment[s] == owner]
+
+    def load(self) -> dict[str, int]:
+        """Shards per owner — used to assert even distribution in tests."""
+        counts = {owner: 0 for owner in self._owners}
+        for owner in self._assignment:
+            if owner is not None:
+                counts[owner] += 1
+        return counts

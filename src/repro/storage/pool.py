@@ -1,0 +1,325 @@
+"""Storage pools: redundant extent storage over groups of disks.
+
+Section III (store layer): physical space is divided into slices organized
+as logical units *across disks in various servers* for redundancy and load
+balance.  A :class:`StoragePool` owns a set of same-tier disks and stores
+extents under a :class:`~repro.storage.redundancy.RedundancyPolicy`,
+placing each fragment on a distinct disk chosen by free-space-weighted
+round-robin.
+
+Pool-level features the paper lists — garbage collection, data
+reconstruction after disk failure, snapshots and thin provisioning — are
+implemented as simple, observable mechanisms on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import SimClock
+from repro.errors import CapacityError, ObjectNotFoundError
+from repro.storage.disk import Disk, DiskProfile
+from repro.storage.redundancy import RedundancyPolicy
+from repro.storage.replication import Replication
+
+
+@dataclass
+class _ExtentMeta:
+    """Placement record for one stored extent."""
+
+    length: int
+    disk_ids: list[str]
+    tombstoned: bool = False
+    #: physical fragments belong to this extent id (copy-on-write clones)
+    clone_of: str | None = None
+    #: write-once-read-many: delete/overwrite is refused
+    worm: bool = False
+
+
+@dataclass
+class PoolStats:
+    """Counters surfaced to benches and tests."""
+
+    extents_written: int = 0
+    extents_read: int = 0
+    gc_reclaimed_bytes: int = 0
+    repairs: int = 0
+    repair_bytes: int = 0
+
+
+class StoragePool:
+    """A named tier ("ssd"/"hdd") of disks with redundant extent storage."""
+
+    def __init__(self, name: str, clock: SimClock,
+                 policy: RedundancyPolicy | None = None) -> None:
+        self.name = name
+        self._clock = clock
+        self.policy = policy if policy is not None else Replication(3)
+        self._disks: dict[str, Disk] = {}
+        self._extents: dict[str, _ExtentMeta] = {}
+        self._snapshots: dict[str, set[str]] = {}
+        self._provisioned: dict[str, int] = {}
+        self.stats = PoolStats()
+
+    # --- membership -------------------------------------------------------
+
+    def add_disk(self, disk: Disk) -> None:
+        if disk.disk_id in self._disks:
+            raise ValueError(f"disk {disk.disk_id!r} already in pool {self.name!r}")
+        self._disks[disk.disk_id] = disk
+
+    def add_disks(self, profile: DiskProfile, count: int,
+                  prefix: str | None = None) -> list[Disk]:
+        """Convenience: create and add ``count`` identical disks."""
+        prefix = prefix if prefix is not None else f"{self.name}-{profile.name}"
+        created = []
+        start = len(self._disks)
+        for index in range(count):
+            disk = Disk(f"{prefix}-{start + index}", profile, self._clock)
+            self.add_disk(disk)
+            created.append(disk)
+        return created
+
+    @property
+    def disks(self) -> list[Disk]:
+        return list(self._disks.values())
+
+    def _alive_disks(self) -> list[Disk]:
+        return [d for d in self._disks.values() if not d.failed]
+
+    # --- capacity accounting ----------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(d.profile.capacity_bytes for d in self._alive_disks())
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(d.used_bytes for d in self._alive_disks())
+
+    @property
+    def logical_bytes(self) -> int:
+        """User bytes stored (pre-redundancy), live extents only."""
+        return sum(m.length for m in self._extents.values() if not m.tombstoned)
+
+    # --- extent I/O ---------------------------------------------------------
+
+    def store(self, extent_id: str, payload: bytes) -> float:
+        """Write an extent under the pool's redundancy policy.
+
+        Fragments land on distinct disks (fewest-used-bytes first).  Returns
+        the simulated seconds of the slowest fragment write (fragments are
+        written in parallel on different devices).
+        """
+        if extent_id in self._extents and not self._extents[extent_id].tombstoned:
+            raise ValueError(f"extent {extent_id!r} already stored")
+        fragments = self.policy.fragment(payload)
+        candidates = sorted(self._alive_disks(), key=lambda d: d.used_bytes)
+        if len(candidates) < len(fragments):
+            raise CapacityError(
+                f"pool {self.name!r}: policy needs {len(fragments)} disks, "
+                f"{len(candidates)} alive"
+            )
+        chosen = candidates[: len(fragments)]
+        slowest = 0.0
+        written: list[Disk] = []
+        try:
+            for disk, fragment in zip(chosen, fragments):
+                slowest = max(
+                    slowest,
+                    disk.write(f"{extent_id}#{disk.disk_id}", fragment),
+                )
+                written.append(disk)
+        except Exception:
+            # all-or-nothing: roll back fragments already written so a
+            # failed store never leaks partial extents
+            for disk in written:
+                disk.delete(f"{extent_id}#{disk.disk_id}")
+            raise
+        self._extents[extent_id] = _ExtentMeta(
+            length=len(payload), disk_ids=[d.disk_id for d in chosen]
+        )
+        self.stats.extents_written += 1
+        return slowest
+
+    def fetch(self, extent_id: str) -> tuple[bytes, float]:
+        """Read an extent back, reconstructing through the policy if disks
+        failed.  Returns (payload, simulated seconds)."""
+        meta = self._live_meta(extent_id)
+        owner = self._physical_owner(extent_id)
+        fragments: list[bytes | None] = []
+        slowest = 0.0
+        for disk_id in meta.disk_ids:
+            disk = self._disks[disk_id]
+            key = f"{owner}#{disk_id}"
+            if disk.failed or not disk.has_extent(key):
+                fragments.append(None)
+                continue
+            payload, cost = disk.read(key)
+            fragments.append(payload)
+            slowest = max(slowest, cost)
+            if isinstance(self.policy, Replication):
+                # one healthy replica suffices; stop after the first
+                fragments.extend([None] * (len(meta.disk_ids) - len(fragments)))
+                break
+        self.stats.extents_read += 1
+        return self.policy.assemble(fragments, meta.length), slowest
+
+    def delete(self, extent_id: str) -> None:
+        """Tombstone an extent; space is reclaimed by :meth:`garbage_collect`."""
+        meta = self._live_meta(extent_id)
+        if meta.worm:
+            raise PermissionError(
+                f"extent {extent_id!r} is write-once-read-many"
+            )
+        meta.tombstoned = True
+
+    # --- clones / WORM / thin provisioning ----------------------------------
+
+    def clone(self, source_id: str, clone_id: str) -> None:
+        """Copy-on-write clone: a new extent id sharing the source's
+        physical fragments (Section III: the pools implement clone).
+
+        Zero extra physical bytes; the shared fragments survive until
+        *every* extent referencing them is deleted and collected.
+        """
+        source = self._live_meta(source_id)
+        if clone_id in self._extents and not self._extents[clone_id].tombstoned:
+            raise ValueError(f"extent {clone_id!r} already stored")
+        self._extents[clone_id] = _ExtentMeta(
+            length=source.length,
+            disk_ids=list(source.disk_ids),
+            clone_of=source.clone_of or source_id,
+        )
+
+    def _physical_owner(self, extent_id: str) -> str:
+        meta = self._extents[extent_id]
+        return meta.clone_of or extent_id
+
+    def mark_worm(self, extent_id: str) -> None:
+        """Write-once-read-many: further deletes of this extent raise."""
+        self._live_meta(extent_id).worm = True
+
+    def provision(self, volume_id: str, size_bytes: int) -> None:
+        """Thin provisioning: reserve logical capacity without physical
+        allocation.  Overcommit is allowed (that is the point); callers
+        watch :meth:`overcommit_ratio`."""
+        if size_bytes < 0:
+            raise ValueError(f"negative provision size {size_bytes!r}")
+        self._provisioned[volume_id] = size_bytes
+
+    def unprovision(self, volume_id: str) -> None:
+        self._provisioned.pop(volume_id, None)
+
+    @property
+    def provisioned_bytes(self) -> int:
+        return sum(self._provisioned.values())
+
+    @property
+    def overcommit_ratio(self) -> float:
+        """Provisioned / physical capacity (>1 means overcommitted)."""
+        capacity = self.capacity_bytes
+        return self.provisioned_bytes / capacity if capacity else 0.0
+
+    def _live_meta(self, extent_id: str) -> _ExtentMeta:
+        meta = self._extents.get(extent_id)
+        if meta is None or meta.tombstoned:
+            raise ObjectNotFoundError(
+                f"pool {self.name!r}: no extent {extent_id!r}"
+            )
+        return meta
+
+    def has_extent(self, extent_id: str) -> bool:
+        meta = self._extents.get(extent_id)
+        return meta is not None and not meta.tombstoned
+
+    def extent_ids(self) -> list[str]:
+        return [e for e, m in self._extents.items() if not m.tombstoned]
+
+    # --- snapshots ----------------------------------------------------------
+
+    def snapshot(self, name: str) -> None:
+        """Record the live extent set; snapshotted extents survive GC."""
+        if name in self._snapshots:
+            raise ValueError(f"snapshot {name!r} already exists")
+        self._snapshots[name] = {
+            e for e, m in self._extents.items() if not m.tombstoned
+        }
+
+    def drop_snapshot(self, name: str) -> None:
+        if name not in self._snapshots:
+            raise KeyError(f"no snapshot {name!r}")
+        del self._snapshots[name]
+
+    def snapshot_extents(self, name: str) -> set[str]:
+        return set(self._snapshots[name])
+
+    # --- maintenance --------------------------------------------------------
+
+    def garbage_collect(self) -> int:
+        """Reclaim tombstoned extents not pinned by any snapshot.
+
+        Returns bytes of physical space freed.
+        """
+        pinned: set[str] = set()
+        for extents in self._snapshots.values():
+            pinned |= extents
+        live_owners = {
+            self._physical_owner(extent_id)
+            for extent_id, meta in self._extents.items()
+            if not meta.tombstoned or extent_id in pinned
+        }
+        freed = 0
+        for extent_id in list(self._extents):
+            meta = self._extents[extent_id]
+            if not meta.tombstoned or extent_id in pinned:
+                continue
+            owner = self._physical_owner(extent_id)
+            if owner not in live_owners:
+                for disk_id in meta.disk_ids:
+                    disk = self._disks[disk_id]
+                    if not disk.failed:
+                        freed += disk.delete(f"{owner}#{disk_id}")
+                live_owners.add(owner)  # fragments freed once
+            del self._extents[extent_id]
+        self.stats.gc_reclaimed_bytes += freed
+        return freed
+
+    def repair_disk(self, disk_id: str) -> int:
+        """Reconstruct every fragment the failed disk held onto healthy disks.
+
+        The disk is recovered (replaced) first.  Returns fragments rebuilt.
+        Raises UnrecoverableDataError when an extent lost more fragments
+        than the policy tolerates.
+        """
+        disk = self._disks.get(disk_id)
+        if disk is None:
+            raise KeyError(f"pool {self.name!r}: unknown disk {disk_id!r}")
+        if not disk.failed:
+            raise ValueError(f"disk {disk_id!r} has not failed")
+        disk.recover()
+        rebuilt = 0
+        repaired_owners: set[str] = set()
+        for extent_id, meta in self._extents.items():
+            if meta.tombstoned or disk_id not in meta.disk_ids:
+                continue
+            physical = self._physical_owner(extent_id)
+            if physical in repaired_owners:
+                continue
+            repaired_owners.add(physical)
+            index = meta.disk_ids.index(disk_id)
+            fragments: list[bytes | None] = []
+            for owner_disk in meta.disk_ids:
+                peer = self._disks[owner_disk]
+                key = f"{physical}#{owner_disk}"
+                if peer.failed or not peer.has_extent(key):
+                    fragments.append(None)
+                else:
+                    payload, _ = peer.read(key)
+                    fragments.append(payload)
+            fragment = self.policy.repair(fragments, index, meta.length)
+            disk.write(f"{physical}#{disk_id}", fragment)
+            rebuilt += 1
+            self.stats.repair_bytes += len(fragment)
+        self.stats.repairs += 1
+        return rebuilt

@@ -1,0 +1,50 @@
+"""Message streaming: stream objects, workers, dispatcher, clients.
+
+The stream object (Section IV-A) is the storage abstraction for key-value
+message streams: a partition's records organized as slices of up to 256
+records, persisted through PLogs.  The streaming service (Section V-A)
+layers producers/consumers, stream workers, and the stream dispatcher on
+top, with exactly-once transactions and archiving.
+"""
+
+from repro.stream.records import MessageRecord, RECORDS_PER_SLICE
+from repro.stream.object import StreamObject, ReadControl
+from repro.stream.config import ArchiveConfig, ConvertToTableConfig, TopicConfig
+from repro.stream.dispatcher import StreamDispatcher
+from repro.stream.worker import StreamWorker
+from repro.stream.producer import Producer
+from repro.stream.consumer import Consumer
+from repro.stream.txn import TransactionManager, TransactionState
+from repro.stream.service import MessageStreamingService
+from repro.stream.groups import GroupConsumer, GroupCoordinator
+from repro.stream.capi import (
+    CreateOptions,
+    IOContent,
+    ReadCtrl,
+    StatusCode,
+    StreamObjectAPI,
+)
+
+__all__ = [
+    "MessageRecord",
+    "RECORDS_PER_SLICE",
+    "StreamObject",
+    "ReadControl",
+    "TopicConfig",
+    "ConvertToTableConfig",
+    "ArchiveConfig",
+    "StreamDispatcher",
+    "StreamWorker",
+    "Producer",
+    "Consumer",
+    "TransactionManager",
+    "TransactionState",
+    "MessageStreamingService",
+    "GroupConsumer",
+    "GroupCoordinator",
+    "StreamObjectAPI",
+    "CreateOptions",
+    "IOContent",
+    "ReadCtrl",
+    "StatusCode",
+]

@@ -1,0 +1,180 @@
+"""The Fig 3 stream-object C API, verbatim.
+
+The paper presents the store-layer interface as C-style functions
+returning ``int32_t`` status codes with out-parameters::
+
+    int32_t CreateServerStreamObject(IN CREATE_OPTIONS_S *option,
+                                     OUT object_id_t *objectId);
+    int32_t DestroyServerStreamObject(IN object_id_t *objectId);
+    int32_t AppendServerStreamObject(IN object_id_t *objectId,
+                                     IN IO_CONTENT_S *io,
+                                     OUT uint64_t *offset);
+    int32_t ReadServerStreamObject(IN object_id_t *objectId,
+                                   IN uint64_t offset,
+                                   IN READ_CTRL_S *readCtrl,
+                                   INOUT IO_CONTENT_S *io);
+
+This module mirrors that shape exactly — status codes, option structs,
+an ``IOContent`` buffer providing the paper's non-blocking I/O — on top
+of :class:`~repro.stream.object.StreamObjectStore`, so code written
+against the paper's listing ports over line by line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    InvalidOffsetError,
+    ObjectNotFoundError,
+    QuotaExceededError,
+    StreamLakeError,
+)
+from repro.stream.object import ReadControl, StreamObjectStore
+from repro.stream.records import MessageRecord
+
+
+class StatusCode(enum.IntEnum):
+    """int32_t return values."""
+
+    OK = 0
+    ERROR_NOT_FOUND = -2
+    ERROR_INVALID_OFFSET = -3
+    ERROR_QUOTA = -4
+    ERROR_INVALID_ARGUMENT = -5
+    ERROR_INTERNAL = -127
+
+
+@dataclass
+class CreateOptions:
+    """CREATE_OPTIONS_S: storage configuration for a new stream object.
+
+    ``redundancy`` selects replicate vs erasure code; ``io_quota`` caps
+    messages/second (enforced by the serving layer)."""
+
+    redundancy: str = "ec"  # "ec" | "replicate"
+    io_quota: int | None = None
+    object_id: str | None = None
+
+    def validate(self) -> bool:
+        return self.redundancy in ("ec", "replicate")
+
+
+@dataclass
+class IOContent:
+    """IO_CONTENT_S: a buffered, non-blocking I/O descriptor.
+
+    For appends, fill ``records`` before the call.  For reads, the call
+    fills ``records`` and ``bytes_transferred``; the buffer can be
+    drained and reused across calls.
+    """
+
+    records: list[MessageRecord] = field(default_factory=list)
+    bytes_transferred: int = 0
+    sim_seconds: float = 0.0
+
+    def put(self, topic: str, key: str, value: bytes) -> None:
+        """Stage one key-value message into the buffer."""
+        self.records.append(MessageRecord(topic=topic, key=key, value=value))
+
+    def drain(self) -> list[MessageRecord]:
+        out = self.records
+        self.records = []
+        return out
+
+
+@dataclass
+class ReadCtrl:
+    """READ_CTRL_S: read bounds; defaults respond with all messages."""
+
+    max_records: int = 2**31 - 1
+    max_bytes: int = 2**31 - 1
+    committed_only: bool = True
+
+    def to_control(self) -> ReadControl:
+        return ReadControl(
+            max_records=self.max_records,
+            max_bytes=self.max_bytes,
+            committed_only=self.committed_only,
+        )
+
+
+class StreamObjectAPI:
+    """The four Fig 3 calls over a stream object store."""
+
+    def __init__(self, store: StreamObjectStore) -> None:
+        self._store = store
+
+    def create_server_stream_object(
+        self, option: CreateOptions, object_id_out: list[str]
+    ) -> int:
+        """CreateServerStreamObject: allocates and writes the id into
+        ``object_id_out[0]`` (the OUT parameter)."""
+        if not option.validate():
+            return StatusCode.ERROR_INVALID_ARGUMENT
+        try:
+            obj = self._store.create(
+                redundancy=option.redundancy, object_id=option.object_id
+            )
+        except ValueError:
+            return StatusCode.ERROR_INVALID_ARGUMENT
+        except StreamLakeError:
+            return StatusCode.ERROR_INTERNAL
+        if object_id_out:
+            object_id_out[0] = obj.object_id
+        else:
+            object_id_out.append(obj.object_id)
+        return StatusCode.OK
+
+    def destroy_server_stream_object(self, object_id: str) -> int:
+        """DestroyServerStreamObject."""
+        try:
+            self._store.destroy(object_id)
+        except ObjectNotFoundError:
+            return StatusCode.ERROR_NOT_FOUND
+        except StreamLakeError:
+            return StatusCode.ERROR_INTERNAL
+        return StatusCode.OK
+
+    def append_server_stream_object(
+        self, object_id: str, io: IOContent, offset_out: list[int]
+    ) -> int:
+        """AppendServerStreamObject: appends the buffered records and
+        writes the starting offset into ``offset_out[0]``."""
+        if not io.records:
+            return StatusCode.ERROR_INVALID_ARGUMENT
+        try:
+            obj = self._store.get(object_id)
+            offset, cost = obj.append(io.drain())
+        except ObjectNotFoundError:
+            return StatusCode.ERROR_NOT_FOUND
+        except QuotaExceededError:
+            return StatusCode.ERROR_QUOTA
+        except StreamLakeError:
+            return StatusCode.ERROR_INTERNAL
+        io.sim_seconds = cost
+        if offset_out:
+            offset_out[0] = offset
+        else:
+            offset_out.append(offset)
+        return StatusCode.OK
+
+    def read_server_stream_object(
+        self, object_id: str, offset: int, read_ctrl: ReadCtrl,
+        io: IOContent,
+    ) -> int:
+        """ReadServerStreamObject: fills ``io`` from ``offset`` onward."""
+        try:
+            obj = self._store.get(object_id)
+            records, cost = obj.read(offset, read_ctrl.to_control())
+        except ObjectNotFoundError:
+            return StatusCode.ERROR_NOT_FOUND
+        except InvalidOffsetError:
+            return StatusCode.ERROR_INVALID_OFFSET
+        except StreamLakeError:
+            return StatusCode.ERROR_INTERNAL
+        io.records = records
+        io.bytes_transferred = sum(r.size_bytes for r in records)
+        io.sim_seconds = cost
+        return StatusCode.OK

@@ -1,0 +1,100 @@
+"""Topic configuration (Fig 8 of the paper).
+
+The stream dispatcher stores one :class:`TopicConfig` per topic.  Field
+defaults mirror the paper's example: three streams, 10^6 msg/s quota,
+conversion triggered at 10^7 accumulated messages or 36 000 seconds,
+archiving at 256 GiB (262144 MB in the paper's JSON) with row->column
+conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ConvertToTableConfig:
+    """``convert_2_table`` block: automatic stream -> table conversion."""
+
+    enabled: bool = False
+    table_schema: dict[str, str] = field(default_factory=dict)
+    table_path: str = ""
+    split_offset: int = 10_000_000
+    split_time_s: float = 36_000.0
+    delete_msg: bool = False
+
+    def validate(self) -> None:
+        if not self.enabled:
+            return
+        if not self.table_schema:
+            raise ConfigError("convert_2_table enabled but table_schema empty")
+        if not self.table_path:
+            raise ConfigError("convert_2_table enabled but table_path empty")
+        if self.split_offset <= 0 or self.split_time_s <= 0:
+            raise ConfigError("conversion triggers must be positive")
+
+
+@dataclass
+class ArchiveConfig:
+    """``archive`` block: automatic archiving of historical stream data."""
+
+    enabled: bool = False
+    external_archive_url: str | None = None
+    archive_size_mb: int = 262_144
+    row_2_col: bool = True
+
+    def validate(self) -> None:
+        if self.enabled and self.archive_size_mb <= 0:
+            raise ConfigError("archive_size must be positive")
+
+
+@dataclass
+class TopicConfig:
+    """Per-topic configuration set at declaration time."""
+
+    stream_num: int = 3
+    quota_msgs_per_s: int = 1_000_000
+    scm_cache: bool = False
+    convert_2_table: ConvertToTableConfig = field(
+        default_factory=ConvertToTableConfig
+    )
+    archive: ArchiveConfig = field(default_factory=ArchiveConfig)
+
+    def validate(self) -> None:
+        if self.stream_num < 1:
+            raise ConfigError(f"stream_num must be >= 1, got {self.stream_num}")
+        if self.quota_msgs_per_s < 1:
+            raise ConfigError(
+                f"quota must be >= 1 msg/s, got {self.quota_msgs_per_s}"
+            )
+        self.convert_2_table.validate()
+        self.archive.validate()
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TopicConfig":
+        """Parse the JSON shape of Fig 8."""
+        convert = raw.get("convert_2_table", {})
+        archive = raw.get("archive", {})
+        config = cls(
+            stream_num=raw.get("stream_num", 3),
+            quota_msgs_per_s=raw.get("quota", 1_000_000),
+            scm_cache=raw.get("scm_cache", False),
+            convert_2_table=ConvertToTableConfig(
+                enabled=convert.get("enabled", False),
+                table_schema=convert.get("table_schema", {}),
+                table_path=convert.get("table_path", ""),
+                split_offset=convert.get("split_offset", 10_000_000),
+                split_time_s=convert.get("split_time", 36_000.0),
+                delete_msg=convert.get("delete_msg", False),
+            ),
+            archive=ArchiveConfig(
+                enabled=archive.get("enabled", False),
+                external_archive_url=archive.get("external_archive_url"),
+                archive_size_mb=archive.get("archive_size", 262_144),
+                row_2_col=archive.get("row_2_col", True),
+            ),
+        )
+        config.validate()
+        return config

@@ -1,0 +1,82 @@
+"""Consumer client (Fig 7): subscribe/poll API.
+
+A consumer subscribes to topics and polls for new records.  It tracks one
+offset per stream, reads only committed records (exactly-once delivery),
+and consumes them in stream order (the ordering guarantee of Section V-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import TopicNotFoundError
+from repro.stream.object import ReadControl
+from repro.stream.records import MessageRecord
+
+_consumer_ids = itertools.count()
+
+
+class Consumer:
+    """Subscribes to topics and polls messages in order."""
+
+    def __init__(self, service: "MessageStreamingService",
+                 consumer_id: str | None = None,
+                 read_uncommitted: bool = False) -> None:
+        self._service = service
+        self.consumer_id = (
+            consumer_id if consumer_id is not None
+            else f"consumer-{next(_consumer_ids)}"
+        )
+        self._offsets: dict[str, int] = {}
+        self._control = ReadControl(committed_only=not read_uncommitted)
+        self.received = 0
+
+    def subscribe(self, topic: str) -> None:
+        """Begin consuming a topic from the earliest retained offset."""
+        for stream_id in self._service.dispatcher.streams_of(topic):
+            if stream_id not in self._offsets:
+                obj = self._service.object_for(stream_id)
+                self._offsets[stream_id] = obj.trim_offset
+
+    def seek(self, stream_id: str, offset: int) -> None:
+        """Reposition on one stream (replay / reprocessing)."""
+        if stream_id not in self._offsets:
+            raise TopicNotFoundError(
+                f"consumer {self.consumer_id} is not subscribed to {stream_id!r}"
+            )
+        self._offsets[stream_id] = offset
+
+    def position(self, stream_id: str) -> int:
+        return self._offsets[stream_id]
+
+    def poll(self, max_records: int = 1024) -> tuple[list[MessageRecord], float]:
+        """Fetch new records across subscribed streams; (records, sim s)."""
+        out: list[MessageRecord] = []
+        cost = 0.0
+        control = ReadControl(
+            max_records=max_records,
+            committed_only=self._control.committed_only,
+        )
+        for stream_id in sorted(self._offsets):
+            if len(out) >= max_records:
+                break
+            offset = self._offsets[stream_id]
+            records, read_cost = self._service.fetch(stream_id, offset, control)
+            cost += read_cost
+            if records:
+                out.extend(records)
+                self._offsets[stream_id] = records[-1].offset + 1
+        self.received += len(out)
+        return out, cost
+
+    def drain(self, batch: int = 1024) -> tuple[list[MessageRecord], float]:
+        """Poll until no new records arrive (batch consumers / tests)."""
+        out: list[MessageRecord] = []
+        cost = 0.0
+        while True:
+            records, poll_cost = self.poll(batch)
+            cost += poll_cost
+            if not records:
+                return out, cost
+            out.extend(records)
+

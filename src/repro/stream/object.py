@@ -1,0 +1,303 @@
+"""The stream object: native stream storage abstraction (Section IV-A).
+
+A stream object stores one partition of a message stream as a sequence of
+slices of up to 256 records.  Unlike Kafka, which persists messages through
+a local file system, the stream object appends directly into PLogs in the
+disaggregated store layer, so serving capacity (workers) can scale without
+moving data.
+
+The operations mirror Fig 3 of the paper:
+
+    CreateServerStreamObject  -> StreamObjectStore.create
+    DestroyServerStreamObject -> StreamObjectStore.destroy
+    AppendServerStreamObject  -> StreamObject.append
+    ReadServerStreamObject    -> StreamObject.read
+
+Delivery guarantees implemented here (Section V-A):
+
+* strict ordering — offsets are assigned monotonically at append;
+* idempotent writes — duplicate (producer_id, sequence) pairs are detected
+  and the original offset returned instead of appending twice;
+* transactional visibility — records carrying an uncommitted ``txn_id``
+  are excluded from reads until the transaction manager marks them
+  committed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass
+
+from repro.common.clock import SimClock
+from repro.errors import InvalidOffsetError, ObjectNotFoundError
+from repro.storage.plog import PLogManager
+from repro.stream.records import (
+    RECORDS_PER_SLICE,
+    MessageRecord,
+    decode_slice,
+    encode_slice,
+)
+
+
+@dataclass(frozen=True)
+class ReadControl:
+    """Read options (the paper's READ_CTRL_S): bounds on a read call."""
+
+    max_records: int = 1024
+    max_bytes: int = 4 * 1024 * 1024
+    committed_only: bool = True
+
+
+@dataclass
+class _SliceInfo:
+    """Index entry for one sealed slice."""
+
+    start_offset: int
+    count: int
+    plog_key: str
+
+
+class StreamObject:
+    """One partition's append-only record log backed by PLogs."""
+
+    def __init__(self, object_id: str, plogs: PLogManager, clock: SimClock,
+                 redundancy: str = "ec") -> None:
+        self.object_id = object_id
+        self.redundancy = redundancy
+        self._plogs = plogs
+        self._clock = clock
+        self._sealed: list[_SliceInfo] = []
+        self._open: list[MessageRecord] = []
+        self._next_offset = 0
+        self._producer_state: dict[str, dict[int, int]] = {}
+        self._committed_txns: set[str] = set()
+        self._aborted_txns: set[str] = set()
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.trim_offset = 0  # records below this were archived/expired
+
+    # --- write path ---------------------------------------------------------
+
+    @property
+    def end_offset(self) -> int:
+        """Offset the next appended record will receive."""
+        return self._next_offset
+
+    def append(self, records: list[MessageRecord]) -> tuple[int, float]:
+        """Append records, returning (start offset, simulated seconds).
+
+        Duplicates (same producer_id + sequence) are skipped; if *all*
+        records are duplicates, the original first offset is returned.
+        """
+        if not records:
+            raise ValueError("append requires at least one record")
+        start = self._next_offset
+        first_offset: int | None = None
+        cost = 0.0
+        for record in records:
+            existing = self._dedupe_offset(record)
+            if existing is not None:
+                if first_offset is None:
+                    first_offset = existing
+                continue
+            stamped = record.with_offset(self._next_offset)
+            if first_offset is None:
+                first_offset = self._next_offset
+            self._open.append(stamped)
+            self._remember_producer(stamped)
+            self._next_offset += 1
+            self.records_appended += 1
+            self.bytes_appended += stamped.size_bytes
+            if len(self._open) >= RECORDS_PER_SLICE:
+                cost += self._seal_open_slice()
+        if first_offset is None:
+            first_offset = start
+        return first_offset, cost
+
+    def _dedupe_offset(self, record: MessageRecord) -> int | None:
+        if not record.producer_id or record.sequence < 0:
+            return None
+        return self._producer_state.get(record.producer_id, {}).get(record.sequence)
+
+    def _remember_producer(self, record: MessageRecord) -> None:
+        if record.producer_id and record.sequence >= 0:
+            self._producer_state.setdefault(record.producer_id, {})[
+                record.sequence
+            ] = record.offset
+
+    def _seal_open_slice(self) -> float:
+        if not self._open:
+            return 0.0
+        start = self._open[0].offset
+        key = f"{self.object_id}/slice/{start}"
+        # slices compress before persistence: one of the stream object's
+        # advantages over file-based logs (Section I "well store, compress")
+        payload = zlib.compress(encode_slice(self._open), level=1)
+        _, cost = self._plogs.append(key, payload)
+        self._sealed.append(
+            _SliceInfo(start_offset=start, count=len(self._open), plog_key=key)
+        )
+        self._open = []
+        return cost
+
+    def flush(self) -> float:
+        """Seal the open slice even if it is not full (shutdown/fsync)."""
+        return self._seal_open_slice()
+
+    # --- transaction visibility ----------------------------------------------
+
+    def mark_committed(self, txn_id: str) -> None:
+        self._committed_txns.add(txn_id)
+
+    def mark_aborted(self, txn_id: str) -> None:
+        self._aborted_txns.add(txn_id)
+
+    def _classify(self, record: MessageRecord, committed_only: bool) -> str:
+        """Read-visibility of one record: 'take', 'skip' or 'stop'.
+
+        Aborted-transaction records are skipped.  Records of a still-open
+        transaction form a *barrier* for committed-only readers (Kafka's
+        last-stable-offset semantics): reading stops before them so the
+        consumer re-polls once the transaction resolves, never missing or
+        reordering records.
+        """
+        if record.txn_id is None:
+            return "take"
+        if record.txn_id in self._aborted_txns:
+            return "skip"
+        if record.txn_id in self._committed_txns:
+            return "take"
+        return "stop" if committed_only else "take"
+
+    # --- read path ------------------------------------------------------------
+
+    def read(self, offset: int,
+             control: ReadControl | None = None) -> tuple[list[MessageRecord], float]:
+        """Read records from ``offset`` onward, bounded by ``control``.
+
+        Returns (records, simulated seconds).  Sealed slices come back
+        from PLogs; the open slice is served from the write buffer
+        ("real-time stream processing", Section IV-A).
+        """
+        control = control if control is not None else ReadControl()
+        if offset < self.trim_offset or offset > self._next_offset:
+            raise InvalidOffsetError(
+                f"{self.object_id}: offset {offset} outside "
+                f"[{self.trim_offset}, {self._next_offset}]"
+            )
+        out: list[MessageRecord] = []
+        total_bytes = 0
+        cost = 0.0
+        for info in self._sealed:
+            if info.start_offset + info.count <= offset:
+                continue
+            payload, read_cost = self._plogs.read_key(info.plog_key)
+            cost += read_cost
+            for record in decode_slice(zlib.decompress(payload)):
+                if record.offset < offset:
+                    continue
+                verdict = self._classify(record, control.committed_only)
+                if verdict == "skip":
+                    continue
+                if verdict == "stop":
+                    return out, cost
+                out.append(record)
+                total_bytes += record.size_bytes
+                if len(out) >= control.max_records or total_bytes >= control.max_bytes:
+                    return out, cost
+        for record in self._open:
+            if record.offset < offset:
+                continue
+            verdict = self._classify(record, control.committed_only)
+            if verdict == "skip":
+                continue
+            if verdict == "stop":
+                break
+            out.append(record)
+            total_bytes += record.size_bytes
+            if len(out) >= control.max_records or total_bytes >= control.max_bytes:
+                break
+        return out, cost
+
+    # --- maintenance ------------------------------------------------------------
+
+    def sealed_slices(self) -> list[tuple[int, int, str]]:
+        """(start_offset, count, plog_key) per sealed slice, oldest first."""
+        return [(s.start_offset, s.count, s.plog_key) for s in self._sealed]
+
+    def trim(self, upto_offset: int) -> list[str]:
+        """Drop sealed slices entirely below ``upto_offset`` (archival).
+
+        Returns the PLog keys released so the caller can reclaim them.
+        """
+        released = []
+        kept = []
+        for info in self._sealed:
+            if info.start_offset + info.count <= upto_offset:
+                released.append(info.plog_key)
+                self.trim_offset = max(
+                    self.trim_offset, info.start_offset + info.count
+                )
+            else:
+                kept.append(info)
+        self._sealed = kept
+        return released
+
+
+class StreamObjectStore:
+    """Registry of stream objects in the store layer (Fig 3 create/destroy).
+
+    ``CREATE_OPTIONS_S`` lets callers pick the redundancy method per
+    object ("replicate or erasure code", Section IV-A): objects created
+    with ``redundancy="replicate"`` persist through ``replicated_plogs``
+    when one is supplied, everything else through the default (EC)
+    manager.
+    """
+
+    def __init__(self, plogs: PLogManager, clock: SimClock,
+                 replicated_plogs: PLogManager | None = None) -> None:
+        self._plogs = plogs
+        self._replicated_plogs = replicated_plogs
+        self._clock = clock
+        self._objects: dict[str, StreamObject] = {}
+        self._ids = itertools.count()
+
+    def _manager_for(self, redundancy: str) -> PLogManager:
+        if redundancy == "replicate" and self._replicated_plogs is not None:
+            return self._replicated_plogs
+        return self._plogs
+
+    def create(self, redundancy: str = "ec",
+               object_id: str | None = None) -> StreamObject:
+        """CreateServerStreamObject: allocate a new stream object."""
+        if redundancy not in ("ec", "replicate"):
+            raise ValueError(
+                f"redundancy must be 'ec' or 'replicate', got {redundancy!r}"
+            )
+        if object_id is None:
+            object_id = f"sobj-{next(self._ids)}"
+        if object_id in self._objects:
+            raise ValueError(f"stream object {object_id!r} already exists")
+        obj = StreamObject(
+            object_id, self._manager_for(redundancy), self._clock, redundancy
+        )
+        self._objects[object_id] = obj
+        return obj
+
+    def destroy(self, object_id: str) -> None:
+        """DestroyServerStreamObject: drop the object and release its slices."""
+        obj = self._objects.pop(object_id, None)
+        if obj is None:
+            raise ObjectNotFoundError(f"no stream object {object_id!r}")
+        for _, __, plog_key in obj.sealed_slices():
+            obj._plogs.delete_key(plog_key)
+
+    def get(self, object_id: str) -> StreamObject:
+        obj = self._objects.get(object_id)
+        if obj is None:
+            raise ObjectNotFoundError(f"no stream object {object_id!r}")
+        return obj
+
+    def __len__(self) -> int:
+        return len(self._objects)

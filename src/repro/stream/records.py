@@ -1,0 +1,111 @@
+"""Message records and their binary codec.
+
+A record is a key-value pair published to a topic (Fig 4(a-c)): records are
+assigned to stream-object slices based on topic, key and offset.  Each slice
+holds up to 256 records (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.common.codec import frame, frames, unframe
+
+#: Paper, Section IV-A: "Each slice contains up to 256 records."
+RECORDS_PER_SLICE = 256
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One key-value message within a stream.
+
+    ``offset`` is assigned by the stream object at append time (-1 before).
+    ``producer_id``/``sequence`` implement idempotent writes: a stream
+    object ignores a (producer, sequence) pair it has already applied.
+    ``txn_id`` marks the record as part of an open transaction; such
+    records stay invisible to consumers until the transaction commits.
+    """
+
+    topic: str
+    key: str
+    value: bytes
+    offset: int = -1
+    timestamp: float = 0.0
+    producer_id: str = ""
+    sequence: int = -1
+    txn_id: str | None = None
+
+    def with_offset(self, offset: int) -> "MessageRecord":
+        return MessageRecord(
+            topic=self.topic,
+            key=self.key,
+            value=self.value,
+            offset=offset,
+            timestamp=self.timestamp,
+            producer_id=self.producer_id,
+            sequence=self.sequence,
+            txn_id=self.txn_id,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size (key + value + fixed header)."""
+        return len(self.key.encode()) + len(self.value) + 48
+
+    def encode(self) -> bytes:
+        """Serialize to a framed byte string."""
+        header = json.dumps(
+            {
+                "t": self.topic,
+                "k": self.key,
+                "o": self.offset,
+                "ts": self.timestamp,
+                "p": self.producer_id,
+                "s": self.sequence,
+                "x": self.txn_id,
+            },
+            separators=(",", ":"),
+        ).encode()
+        return frame(frame(header) + frame(self.value))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MessageRecord":
+        parts = frames(unframe(data))
+        if len(parts) != 2:
+            raise ValueError(f"malformed record: {len(parts)} frames")
+        meta = json.loads(parts[0])
+        return cls(
+            topic=meta["t"],
+            key=meta["k"],
+            value=parts[1],
+            offset=meta["o"],
+            timestamp=meta["ts"],
+            producer_id=meta["p"],
+            sequence=meta["s"],
+            txn_id=meta["x"],
+        )
+
+
+def encode_slice(records: list[MessageRecord]) -> bytes:
+    """Serialize a slice (<= RECORDS_PER_SLICE records) to bytes."""
+    if len(records) > RECORDS_PER_SLICE:
+        raise ValueError(
+            f"slice holds at most {RECORDS_PER_SLICE} records, got {len(records)}"
+        )
+    return b"".join(frame(record.encode()) for record in records)
+
+
+def decode_slice(data: bytes) -> list[MessageRecord]:
+    """Inverse of :func:`encode_slice`."""
+    return [MessageRecord.decode(payload) for payload in frames(data)]
+
+
+def encode_records(records: list[MessageRecord]) -> bytes:
+    """Serialize an arbitrary-length batch (no slice-size limit)."""
+    return b"".join(frame(record.encode()) for record in records)
+
+
+def decode_records(data: bytes) -> list[MessageRecord]:
+    """Inverse of :func:`encode_records`."""
+    return [MessageRecord.decode(payload) for payload in frames(data)]

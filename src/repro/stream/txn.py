@@ -1,0 +1,117 @@
+"""Exactly-once transactions via two-phase commit (Section V-A).
+
+"The system provides exactly-once semantics through a transaction manager
+and the two-phase commit protocol.  This tracks participant actions and
+ensures that all results in a transaction are visible or invisible at the
+same time."
+
+A transaction enrolls the stream objects it writes to as participants.
+Records written inside the transaction carry its ``txn_id`` and stay
+invisible to committed-only readers.  Commit runs 2PC:
+
+* **prepare** — every participant votes (a participant on a failed/vetoed
+  object votes no);
+* **commit/abort** — on unanimous yes, all objects mark the txn committed
+  (records become visible atomically); otherwise all mark it aborted
+  (records are never delivered).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.common.clock import SimClock
+from repro.errors import TransactionError
+from repro.stream.object import StreamObject
+
+
+class TransactionState(enum.Enum):
+    OPEN = "open"
+    PREPARING = "preparing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class _Transaction:
+    def __init__(self, txn_id: str) -> None:
+        self.txn_id = txn_id
+        self.state = TransactionState.OPEN
+        self.participants: dict[str, StreamObject] = {}
+        self.vetoed: set[str] = set()
+
+
+class TransactionManager:
+    """Coordinates 2PC across stream objects."""
+
+    #: one log write + round trip per participant per phase
+    PHASE_COST_PER_PARTICIPANT_S = 30e-6
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._txns: dict[str, _Transaction] = {}
+        self._ids = itertools.count()
+        self.commits = 0
+        self.aborts = 0
+
+    def begin(self) -> str:
+        txn_id = f"txn-{next(self._ids)}"
+        self._txns[txn_id] = _Transaction(txn_id)
+        return txn_id
+
+    def state_of(self, txn_id: str) -> TransactionState:
+        return self._require(txn_id).state
+
+    def enlist(self, txn_id: str, obj: StreamObject) -> None:
+        """Register a stream object the transaction writes to."""
+        txn = self._require(txn_id)
+        if txn.state is not TransactionState.OPEN:
+            raise TransactionError(
+                f"{txn_id} is {txn.state.value}; cannot enlist participants"
+            )
+        txn.participants[obj.object_id] = obj
+
+    def veto(self, txn_id: str, object_id: str) -> None:
+        """Fault injection: make a participant vote no at prepare time."""
+        self._require(txn_id).vetoed.add(object_id)
+
+    def commit(self, txn_id: str) -> float:
+        """Run 2PC; returns simulated seconds.  Raises on abort."""
+        txn = self._require(txn_id)
+        if txn.state is not TransactionState.OPEN:
+            raise TransactionError(f"{txn_id} already {txn.state.value}")
+        txn.state = TransactionState.PREPARING
+        cost = 2 * len(txn.participants) * self.PHASE_COST_PER_PARTICIPANT_S
+        self._clock.advance(cost)
+        votes_yes = all(
+            object_id not in txn.vetoed for object_id in txn.participants
+        )
+        if not votes_yes:
+            self._finish_abort(txn)
+            raise TransactionError(
+                f"{txn_id} aborted: participant vetoed at prepare"
+            )
+        for obj in txn.participants.values():
+            obj.mark_committed(txn_id)
+        txn.state = TransactionState.COMMITTED
+        self.commits += 1
+        return cost
+
+    def abort(self, txn_id: str) -> None:
+        """Explicit rollback."""
+        txn = self._require(txn_id)
+        if txn.state in (TransactionState.COMMITTED, TransactionState.ABORTED):
+            raise TransactionError(f"{txn_id} already {txn.state.value}")
+        self._finish_abort(txn)
+
+    def _finish_abort(self, txn: _Transaction) -> None:
+        for obj in txn.participants.values():
+            obj.mark_aborted(txn.txn_id)
+        txn.state = TransactionState.ABORTED
+        self.aborts += 1
+
+    def _require(self, txn_id: str) -> _Transaction:
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            raise TransactionError(f"unknown transaction {txn_id!r}")
+        return txn

@@ -1,0 +1,52 @@
+"""Lakehouse: table objects with ACID operations (Sections IV-B, V-B).
+
+A table object is a directory of columnar data files plus commit/snapshot
+metadata, with the catalog in a distributed KV engine.  The metadata
+acceleration write cache combines small metadata I/O; predicate and
+aggregate pushdown run storage-side; stream<->table conversion bridges to
+the messaging service.
+"""
+
+from repro.table.schema import Column, ColumnType, PartitionSpec, Schema
+from repro.table.expr import And, Or, Predicate, parse_predicate
+from repro.table.columnar import ColumnarFile, ROW_GROUP_SIZE
+from repro.table.commit import CommitFile, DataFileMeta
+from repro.table.snapshot import Snapshot, SnapshotLog
+from repro.table.catalog import Catalog, TableInfo
+from repro.table.metacache import (AcceleratedMetadataStore,
+    FileMetadataStore, MetadataStore)
+from repro.table.pushdown import AggregateSpec, execute_pushdown
+from repro.table.table import Lakehouse, QueryStats, TableObject
+from repro.table.conversion import StreamTableConverter
+from repro.table.sql import SQLError, parse_select, query
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "PartitionSpec",
+    "Predicate",
+    "And",
+    "Or",
+    "parse_predicate",
+    "ColumnarFile",
+    "ROW_GROUP_SIZE",
+    "CommitFile",
+    "DataFileMeta",
+    "Snapshot",
+    "SnapshotLog",
+    "Catalog",
+    "TableInfo",
+    "MetadataStore",
+    "AcceleratedMetadataStore",
+    "FileMetadataStore",
+    "AggregateSpec",
+    "execute_pushdown",
+    "TableObject",
+    "Lakehouse",
+    "QueryStats",
+    "StreamTableConverter",
+    "query",
+    "parse_select",
+    "SQLError",
+]

@@ -1,0 +1,116 @@
+"""Catalog: table profiles in a distributed KV engine (Fig 5(d)).
+
+"The catalog describes the table object, including the profile data such as
+the table ID, directory paths, schema, snapshot descriptions, modification
+timestamps, etc. ... stored in a distributed key-value engine optimized for
+RDMA and Storage Class Memory to ensure fast metadata access."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import TableExistsError, TableNotFoundError
+from repro.storage.kv import KVEngine
+from repro.table.schema import PartitionSpec, Schema
+
+
+@dataclass
+class TableInfo:
+    """Catalog entry for one table."""
+
+    table_id: int
+    name: str
+    path: str
+    schema: Schema
+    partition_spec: PartitionSpec
+    created_at: float
+    modified_at: float
+    current_snapshot: int = -1
+    snapshot_description: dict[str, int] = field(default_factory=dict)
+    soft_deleted: bool = False
+
+
+class Catalog:
+    """Registry of tables, backed by the KV engine."""
+
+    def __init__(self, kv: KVEngine) -> None:
+        self._kv = kv
+        self._ids = itertools.count()
+
+    def create(self, name: str, path: str, schema: Schema,
+               partition_spec: PartitionSpec, now: float) -> TableInfo:
+        if self._kv.get(f"table/{name}") is not None:
+            raise TableExistsError(f"table {name!r} already in catalog")
+        info = TableInfo(
+            table_id=next(self._ids),
+            name=name,
+            path=path,
+            schema=schema,
+            partition_spec=partition_spec,
+            created_at=now,
+            modified_at=now,
+        )
+        self._kv.put(f"table/{name}", info)
+        return info
+
+    def get(self, name: str) -> TableInfo:
+        info = self._kv.get(f"table/{name}")
+        if info is None or info.soft_deleted:  # type: ignore[union-attr]
+            raise TableNotFoundError(f"no table {name!r} in catalog")
+        return info  # type: ignore[return-value]
+
+    def exists(self, name: str) -> bool:
+        info = self._kv.get(f"table/{name}")
+        return info is not None and not info.soft_deleted  # type: ignore[union-attr]
+
+    def update_snapshot(self, name: str, snapshot_id: int,
+                        description: dict[str, int], now: float) -> None:
+        info = self.get(name)
+        info.current_snapshot = snapshot_id
+        info.snapshot_description = dict(description)
+        info.modified_at = now
+        self._kv.put(f"table/{name}", info)
+
+    def soft_delete(self, name: str, now: float) -> TableInfo:
+        """Drop table soft: unregister but keep data for restoration."""
+        info = self.get(name)
+        info.soft_deleted = True
+        info.modified_at = now
+        self._kv.put(f"table/{name}", info)
+        return info
+
+    def restore(self, name: str, new_name: str, now: float) -> TableInfo:
+        """Re-register a soft-deleted table under ``new_name`` (same path)."""
+        info = self._kv.get(f"table/{name}")
+        if info is None or not info.soft_deleted:  # type: ignore[union-attr]
+            raise TableNotFoundError(f"no soft-deleted table {name!r}")
+        if self.exists(new_name):
+            raise TableExistsError(f"table {new_name!r} already in catalog")
+        restored = TableInfo(
+            table_id=info.table_id,  # type: ignore[union-attr]
+            name=new_name,
+            path=info.path,  # type: ignore[union-attr]
+            schema=info.schema,  # type: ignore[union-attr]
+            partition_spec=info.partition_spec,  # type: ignore[union-attr]
+            created_at=info.created_at,  # type: ignore[union-attr]
+            modified_at=now,
+            current_snapshot=info.current_snapshot,  # type: ignore[union-attr]
+            snapshot_description=info.snapshot_description,  # type: ignore[union-attr]
+        )
+        self._kv.delete(f"table/{name}")
+        self._kv.put(f"table/{new_name}", restored)
+        return restored
+
+    def hard_delete(self, name: str) -> None:
+        """Drop table hard: remove from the catalog entirely."""
+        if not self._kv.delete(f"table/{name}"):
+            raise TableNotFoundError(f"no table {name!r} in catalog")
+
+    def tables(self, include_soft_deleted: bool = False) -> list[str]:
+        out = []
+        for key, info in self._kv.scan("table/"):
+            if include_soft_deleted or not info.soft_deleted:  # type: ignore[union-attr]
+                out.append(key.removeprefix("table/"))
+        return out

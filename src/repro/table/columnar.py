@@ -1,0 +1,306 @@
+"""Parquet-like columnar data files (Fig 5 "data directory").
+
+A :class:`ColumnarFile` stores rows as row groups of column chunks with a
+footer of per-column min/max/null statistics — the statistics "support
+data skipping within the file".  The binary layout is::
+
+    [u32 footer_len][footer json][rowgroup 0 blocks...][rowgroup 1 ...]
+
+Each column chunk is zlib-compressed: int64/float64/bool columns pack via
+NumPy; string columns pick per-chunk between plain JSON and dictionary
+encoding (distinct values + integer codes) — the classic columnar trick
+that makes low-cardinality log fields (provinces, URLs, flags) tiny.
+Compression is real, so the EC+Col-store space numbers of Fig 14(d) come
+from measured bytes, not a fudge factor.
+
+Scanning evaluates an :class:`~repro.table.expr.Expression` with row-group
+skipping first (footer stats), then exact row filtering.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import CorruptionError, SchemaError
+from repro.table.expr import Expression
+from repro.table.schema import ColumnType, Schema
+
+#: Default rows per row group.
+ROW_GROUP_SIZE = 10_000
+
+_LEN = struct.Struct("<I")
+_NULL_SENTINEL_INT = -(2**62)
+
+#: chunk encoding tags (first byte of every string-column chunk)
+_ENC_PLAIN = 0
+_ENC_DICT = 1
+
+
+def _encode_strings(values: list[object]) -> bytes:
+    """Pick plain-JSON or dictionary encoding, whichever is smaller.
+
+    Dictionary encoding pays off exactly when the column is
+    low-cardinality (provinces, URLs, status flags): distinct values are
+    stored once and rows become small integer codes.
+    """
+    plain = json.dumps(values, separators=(",", ":")).encode()
+    distinct = sorted({v for v in values if v is not None})
+    if values and len(distinct) <= max(1, len(values) // 2):
+        mapping = {value: code for code, value in enumerate(distinct)}
+        codes = np.array(
+            [len(distinct) if v is None else mapping[v] for v in values],
+            dtype=np.uint32,
+        )
+        dictionary = json.dumps(distinct, separators=(",", ":")).encode()
+        encoded = (
+            bytes([_ENC_DICT])
+            + _LEN.pack(len(dictionary)) + dictionary + codes.tobytes()
+        )
+        plain_framed = bytes([_ENC_PLAIN]) + plain
+        return encoded if len(encoded) < len(plain_framed) else plain_framed
+    return bytes([_ENC_PLAIN]) + plain
+
+
+def _decode_strings(raw: bytes, count: int) -> list[object]:
+    tag = raw[0]
+    body = raw[1:]
+    if tag == _ENC_PLAIN:
+        values = json.loads(body)
+        if len(values) != count:
+            raise CorruptionError(
+                f"string column length {len(values)} != {count}"
+            )
+        return values
+    if tag != _ENC_DICT:
+        raise CorruptionError(f"unknown string chunk encoding {tag}")
+    (dict_len,) = _LEN.unpack_from(body)
+    dictionary = json.loads(body[_LEN.size : _LEN.size + dict_len])
+    codes = np.frombuffer(body[_LEN.size + dict_len :], dtype=np.uint32)
+    if len(codes) != count:
+        raise CorruptionError(f"dictionary codes length {len(codes)} != {count}")
+    null_code = len(dictionary)
+    return [None if c == null_code else dictionary[c] for c in codes]
+
+
+def _encode_column(values: list[object], type_: ColumnType) -> bytes:
+    if type_ in (ColumnType.INT64, ColumnType.TIMESTAMP):
+        array = np.array(
+            [(_NULL_SENTINEL_INT if v is None else v) for v in values],
+            dtype=np.int64,
+        )
+        raw = array.tobytes()
+    elif type_ is ColumnType.FLOAT64:
+        array = np.array(
+            [(np.nan if v is None else v) for v in values], dtype=np.float64
+        )
+        raw = array.tobytes()
+    elif type_ is ColumnType.BOOL:
+        raw = bytes(0 if v is None else (2 if v else 1) for v in values)
+    else:
+        raw = _encode_strings(values)
+    return zlib.compress(raw, level=6)
+
+
+def _decode_column(blob: bytes, type_: ColumnType, count: int) -> list[object]:
+    raw = zlib.decompress(blob)
+    if type_ in (ColumnType.INT64, ColumnType.TIMESTAMP):
+        array = np.frombuffer(raw, dtype=np.int64)
+        return [None if v == _NULL_SENTINEL_INT else int(v) for v in array]
+    if type_ is ColumnType.FLOAT64:
+        array = np.frombuffer(raw, dtype=np.float64)
+        return [None if np.isnan(v) else float(v) for v in array]
+    if type_ is ColumnType.BOOL:
+        return [None if b == 0 else b == 2 for b in raw]
+    return _decode_strings(raw, count)
+
+
+def _column_stats(values: list[object]) -> tuple[object, object, int]:
+    present = [v for v in values if v is not None]
+    nulls = len(values) - len(present)
+    if not present:
+        return None, None, nulls
+    return min(present), max(present), nulls
+
+
+class _RowGroup:
+    """Column chunks + statistics for one horizontal stripe of rows."""
+
+    def __init__(self, schema: Schema, rows: list[dict[str, object]]) -> None:
+        self.num_rows = len(rows)
+        self.chunks: dict[str, bytes] = {}
+        self.stats: dict[str, tuple[object, object]] = {}
+        self.null_counts: dict[str, int] = {}
+        for column in schema.columns:
+            values = [row.get(column.name) for row in rows]
+            self.chunks[column.name] = _encode_column(values, column.type)
+            low, high, nulls = _column_stats(values)
+            self.stats[column.name] = (low, high)
+            self.null_counts[column.name] = nulls
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks.values())
+
+
+class ColumnarFile:
+    """An immutable columnar data file with footer statistics."""
+
+    def __init__(self, schema: Schema, groups: list[_RowGroup]) -> None:
+        self.schema = schema
+        self._groups = groups
+
+    # --- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: list[dict[str, object]],
+                  row_group_size: int = ROW_GROUP_SIZE) -> "ColumnarFile":
+        if row_group_size < 1:
+            raise ValueError("row_group_size must be >= 1")
+        for row in rows:
+            schema.validate_row(row)
+        groups = [
+            _RowGroup(schema, rows[start : start + row_group_size])
+            for start in range(0, len(rows), row_group_size)
+        ]
+        return cls(schema, groups)
+
+    # --- metadata -------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return sum(group.num_rows for group in self._groups)
+
+    @property
+    def num_row_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def size_bytes(self) -> int:
+        """Compressed data size plus a footer estimate."""
+        return sum(group.compressed_bytes for group in self._groups) + 256
+
+    def file_stats(self) -> dict[str, tuple[object, object]]:
+        """File-level min/max per column (union of row-group stats)."""
+        merged: dict[str, tuple[object, object]] = {}
+        for group in self._groups:
+            for name, (low, high) in group.stats.items():
+                if low is None:
+                    continue
+                if name not in merged or merged[name][0] is None:
+                    merged[name] = (low, high)
+                else:
+                    merged[name] = (
+                        min(merged[name][0], low),  # type: ignore[type-var]
+                        max(merged[name][1], high),  # type: ignore[type-var]
+                    )
+        for column in self.schema.columns:
+            merged.setdefault(column.name, (None, None))
+        return merged
+
+    # --- scan --------------------------------------------------------------------
+
+    def scan(self, predicate: Expression | None = None,
+             columns: list[str] | None = None) -> list[dict[str, object]]:
+        """Return matching rows, projecting to ``columns`` when given.
+
+        Row groups whose footer statistics rule out the predicate are
+        skipped without decompression.
+        """
+        projection = columns if columns is not None else self.schema.names
+        needed = set(projection)
+        if predicate is not None:
+            needed |= predicate.columns()
+        unknown = needed - set(self.schema.names)
+        if unknown:
+            raise SchemaError(f"scan references unknown columns {sorted(unknown)}")
+        out: list[dict[str, object]] = []
+        for group in self._groups:
+            if predicate is not None and not predicate.possibly_matches(group.stats):
+                continue
+            decoded = {
+                name: _decode_column(
+                    group.chunks[name],
+                    self.schema.column(name).type,
+                    group.num_rows,
+                )
+                for name in needed
+            }
+            for index in range(group.num_rows):
+                row = {name: decoded[name][index] for name in decoded}
+                if predicate is None or predicate.matches(row):
+                    out.append({name: row[name] for name in projection})
+        return out
+
+    def count(self, predicate: Expression | None = None) -> int:
+        """Pushed-down COUNT(*) (row-group skipping applies)."""
+        if predicate is None:
+            return self.num_rows
+        return len(self.scan(predicate, columns=[]))
+
+    def skipped_row_groups(self, predicate: Expression) -> int:
+        """How many row groups the footer statistics prune for a predicate."""
+        return sum(
+            1 for group in self._groups
+            if not predicate.possibly_matches(group.stats)
+        )
+
+    def group_stats(self) -> list[dict[str, tuple[object, object]]]:
+        return [dict(group.stats) for group in self._groups]
+
+    # --- serialization --------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize footer + column chunks."""
+        footer = {
+            "schema": self.schema.to_dict(),
+            "groups": [
+                {
+                    "rows": group.num_rows,
+                    "stats": {
+                        name: list(bounds) for name, bounds in group.stats.items()
+                    },
+                    "nulls": group.null_counts,
+                    "chunks": [
+                        [name, len(group.chunks[name])]
+                        for name in self.schema.names
+                    ],
+                }
+                for group in self._groups
+            ],
+        }
+        footer_blob = json.dumps(footer, separators=(",", ":")).encode()
+        body = b"".join(
+            group.chunks[name]
+            for group in self._groups
+            for name in self.schema.names
+        )
+        return _LEN.pack(len(footer_blob)) + footer_blob + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnarFile":
+        if len(data) < _LEN.size:
+            raise CorruptionError("columnar file shorter than its header")
+        (footer_len,) = _LEN.unpack_from(data)
+        footer = json.loads(data[_LEN.size : _LEN.size + footer_len])
+        schema = Schema.from_dict(footer["schema"])
+        cursor = _LEN.size + footer_len
+        groups: list[_RowGroup] = []
+        for meta in footer["groups"]:
+            group = _RowGroup.__new__(_RowGroup)
+            group.num_rows = meta["rows"]
+            group.stats = {
+                name: tuple(bounds) for name, bounds in meta["stats"].items()
+            }
+            group.null_counts = meta["nulls"]
+            group.chunks = {}
+            for name, chunk_len in meta["chunks"]:
+                group.chunks[name] = data[cursor : cursor + chunk_len]
+                if len(group.chunks[name]) != chunk_len:
+                    raise CorruptionError("columnar file truncated")
+                cursor += chunk_len
+            groups.append(group)
+        return cls(schema, groups)

@@ -1,0 +1,89 @@
+"""Commit files: file-level metadata manifests (Fig 5(b)).
+
+"Commits are Avro files that contain file-level metadata and statistics
+such as file paths, record counts, and value ranges for the data objects.
+Each data insert, update, and delete operation will generate a new commit
+file to record changes of the data object files."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DataFileMeta:
+    """Manifest entry for one data file."""
+
+    path: str
+    partition: str
+    record_count: int
+    size_bytes: int
+    #: {column: [min, max]} value ranges for file-level skipping
+    value_ranges: dict[str, tuple[object, object]] = field(default_factory=dict)
+
+    def stats(self) -> dict[str, tuple[object, object]]:
+        return dict(self.value_ranges)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "partition": self.partition,
+            "records": self.record_count,
+            "bytes": self.size_bytes,
+            "ranges": {k: list(v) for k, v in self.value_ranges.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "DataFileMeta":
+        return cls(
+            path=raw["path"],
+            partition=raw["partition"],
+            record_count=raw["records"],
+            size_bytes=raw["bytes"],
+            value_ranges={k: tuple(v) for k, v in raw["ranges"].items()},
+        )
+
+
+@dataclass(frozen=True)
+class CommitFile:
+    """One committed change set: files added and files removed."""
+
+    commit_id: int
+    timestamp: float
+    operation: str  # "insert" | "delete" | "update" | "compact" | "create"
+    added: tuple[DataFileMeta, ...] = ()
+    removed: tuple[str, ...] = ()
+
+    @property
+    def added_records(self) -> int:
+        return sum(meta.record_count for meta in self.added)
+
+    @property
+    def added_bytes(self) -> int:
+        return sum(meta.size_bytes for meta in self.added)
+
+    def encode(self) -> bytes:
+        """Serialize for persistence (the paper's Avro stand-in)."""
+        return json.dumps(
+            {
+                "id": self.commit_id,
+                "ts": self.timestamp,
+                "op": self.operation,
+                "added": [meta.to_dict() for meta in self.added],
+                "removed": list(self.removed),
+            },
+            separators=(",", ":"),
+        ).encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CommitFile":
+        raw = json.loads(data)
+        return cls(
+            commit_id=raw["id"],
+            timestamp=raw["ts"],
+            operation=raw["op"],
+            added=tuple(DataFileMeta.from_dict(m) for m in raw["added"]),
+            removed=tuple(raw["removed"]),
+        )

@@ -1,0 +1,152 @@
+"""Stream <-> table conversion (Section V-B "Stream-to-table conversion").
+
+A background service converts stream-object records to table-object rows —
+triggered by an accumulation of ``split_offset`` messages or the passing of
+``split_time`` seconds — so one copy of the data serves both stream and
+batch processing.  The reverse conversion (table rows back to stream
+messages) supports data playback.
+
+Message values are JSON log lines; the topic's ``table_schema`` defines the
+expected fields.  Records that fail schema validation are counted and
+skipped (production log pipelines always carry some malformed lines).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.common.clock import SimClock
+from repro.errors import SchemaError
+from repro.stream.records import MessageRecord
+from repro.stream.service import MessageStreamingService
+from repro.table.table import TableObject
+
+
+@dataclass
+class ConversionReport:
+    """Outcome of one conversion cycle."""
+
+    converted: int = 0
+    malformed: int = 0
+    triggered_by: str = "none"  # "offset" | "time" | "force" | "none"
+    sim_seconds: float = 0.0
+
+
+class StreamTableConverter:
+    """Background converter bound to one topic and one table."""
+
+    def __init__(self, service: MessageStreamingService, topic: str,
+                 table: TableObject, clock: SimClock) -> None:
+        self._service = service
+        self._topic = topic
+        self._table = table
+        self._clock = clock
+        self._positions: dict[str, int] = {
+            stream_id: 0
+            for stream_id in service.dispatcher.streams_of(topic)
+        }
+        self._last_conversion_at = clock.now
+        self.total_converted = 0
+        self.total_malformed = 0
+
+    # --- stream -> table -----------------------------------------------------
+
+    def pending_messages(self) -> int:
+        """Messages accumulated since the last conversion."""
+        total = 0
+        for stream_id, position in self._positions.items():
+            total += self._service.object_for(stream_id).end_offset - position
+        return total
+
+    def should_convert(self) -> str | None:
+        """Which trigger fired, if any ('offset' or 'time')."""
+        config = self._service.dispatcher.config_of(self._topic).convert_2_table
+        if not config.enabled:
+            return None
+        if self.pending_messages() >= config.split_offset:
+            return "offset"
+        if self._clock.now - self._last_conversion_at >= config.split_time_s:
+            return "time"
+        return None
+
+    def run_cycle(self, force: bool = False) -> ConversionReport:
+        """Convert accumulated messages if a trigger fired (or ``force``)."""
+        trigger = self.should_convert()
+        if trigger is None and not force:
+            return ConversionReport()
+        report = ConversionReport(triggered_by=trigger or "force")
+        rows: list[dict[str, object]] = []
+        config = self._service.dispatcher.config_of(self._topic).convert_2_table
+        for stream_id in sorted(self._positions):
+            obj = self._service.object_for(stream_id)
+            obj.flush()
+            position = self._positions[stream_id]
+            while position < obj.end_offset:
+                records, cost = obj.read(position)
+                report.sim_seconds += cost
+                if not records:
+                    break
+                for record in records:
+                    row = self._parse(record)
+                    if row is None:
+                        report.malformed += 1
+                    else:
+                        rows.append(row)
+                position = records[-1].offset + 1
+            self._positions[stream_id] = position
+        if rows:
+            report.sim_seconds += self._table.insert(rows)
+            report.converted = len(rows)
+        if config.delete_msg:
+            for stream_id in sorted(self._positions):
+                obj = self._service.object_for(stream_id)
+                for plog_key in obj.trim(self._positions[stream_id]):
+                    self._service.plogs.delete_key(plog_key)
+        self._last_conversion_at = self._clock.now
+        self.total_converted += report.converted
+        self.total_malformed += report.malformed
+        return report
+
+    def _parse(self, record: MessageRecord) -> dict[str, object] | None:
+        try:
+            raw = json.loads(record.value)
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(raw, dict):
+            return None
+        row = {
+            name: raw.get(name)
+            for name in self._table.schema.names
+            if name in raw
+        }
+        try:
+            self._table.schema.validate_row(row)
+        except SchemaError:
+            return None
+        return row
+
+    # --- table -> stream (playback) ----------------------------------------------
+
+    def playback(self, target_topic: str,
+                 predicate=None) -> tuple[int, float]:
+        """Reverse conversion: replay table rows as stream messages.
+
+        Returns (messages produced, simulated seconds).
+        """
+        rows = self._table.select(predicate=predicate)
+        cost = 0.0
+        produced = 0
+        streams = self._service.dispatcher.streams_of(target_topic)
+        for index, row in enumerate(rows):
+            value = json.dumps(row, separators=(",", ":")).encode()
+            record = MessageRecord(
+                topic=target_topic,
+                key=str(index),
+                value=value,
+                timestamp=self._clock.now,
+            )
+            stream_id = streams[index % len(streams)]
+            cost += self._service.deliver(stream_id, [record])
+            produced += 1
+        return produced, cost

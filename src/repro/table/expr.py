@@ -1,0 +1,202 @@
+"""Predicate expressions (Section VI-B).
+
+Predicates take the paper's form (attribute, operator, literal) with
+operators {<=, >=, <, >, =, IN}, combined with AND/OR.  The same tree is
+used by three consumers:
+
+* pushdown evaluation (`matches` on a row);
+* data skipping (`possibly_matches` against min/max column statistics —
+  sound: may return True for a range with no matching rows, never False
+  for one that has them);
+* LakeBrain's predicate-aware partitioning, which splits on the atomic
+  predicates of a workload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+_OPS = ("<=", ">=", "<", ">", "=", "IN")
+
+
+class Expression(ABC):
+    """Boolean expression over a row."""
+
+    @abstractmethod
+    def matches(self, row: dict[str, object]) -> bool:
+        """Exact evaluation against one row."""
+
+    @abstractmethod
+    def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
+        """Conservative evaluation against {column: (min, max)} statistics."""
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        """Column names referenced."""
+
+    @abstractmethod
+    def atoms(self) -> list["Predicate"]:
+        """All atomic predicates in the tree."""
+
+
+@dataclass(frozen=True)
+class Predicate(Expression):
+    """Atomic predicate: (attribute, operator, literal)."""
+
+    column: str
+    op: str
+    literal: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unsupported operator {self.op!r}; use one of {_OPS}")
+        if self.op == "IN" and not isinstance(self.literal, (tuple, frozenset)):
+            # normalize to something hashable/immutable
+            object.__setattr__(self, "literal", tuple(self.literal))  # type: ignore[arg-type]
+
+    def matches(self, row: dict[str, object]) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        if self.op == "=":
+            return value == self.literal
+        if self.op == "IN":
+            return value in self.literal  # type: ignore[operator]
+        if self.op == "<":
+            return value < self.literal  # type: ignore[operator]
+        if self.op == "<=":
+            return value <= self.literal  # type: ignore[operator]
+        if self.op == ">":
+            return value > self.literal  # type: ignore[operator]
+        return value >= self.literal  # type: ignore[operator]
+
+    def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
+        bounds = stats.get(self.column)
+        if bounds is None:
+            return True  # no statistics for the column: cannot skip
+        low, high = bounds
+        if low is None or high is None:
+            return True
+        try:
+            if self.op == "=":
+                return low <= self.literal <= high  # type: ignore[operator]
+            if self.op == "IN":
+                return any(low <= v <= high for v in self.literal)  # type: ignore[operator]
+            if self.op == "<":
+                return low < self.literal  # type: ignore[operator]
+            if self.op == "<=":
+                return low <= self.literal  # type: ignore[operator]
+            if self.op == ">":
+                return high > self.literal  # type: ignore[operator]
+            return high >= self.literal  # type: ignore[operator]
+        except TypeError:
+            return True  # incomparable types: cannot skip
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def atoms(self) -> list["Predicate"]:
+        return [self]
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.literal!r}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction; an empty AND is vacuously true."""
+
+    children: tuple[Expression, ...]
+
+    def __init__(self, *children: Expression) -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def matches(self, row: dict[str, object]) -> bool:
+        return all(child.matches(row) for child in self.children)
+
+    def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
+        return all(child.possibly_matches(stats) for child in self.children)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.columns()
+        return out
+
+    def atoms(self) -> list[Predicate]:
+        out: list[Predicate] = []
+        for child in self.children:
+            out.extend(child.atoms())
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction; an empty OR is vacuously false."""
+
+    children: tuple[Expression, ...]
+
+    def __init__(self, *children: Expression) -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def matches(self, row: dict[str, object]) -> bool:
+        return any(child.matches(row) for child in self.children)
+
+    def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
+        if not self.children:
+            return False
+        return any(child.possibly_matches(stats) for child in self.children)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.columns()
+        return out
+
+    def atoms(self) -> list[Predicate]:
+        out: list[Predicate] = []
+        for child in self.children:
+            out.extend(child.atoms())
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(child) for child in self.children) + ")"
+
+
+def parse_predicate(text: str) -> Expression:
+    """Parse a simple conjunctive WHERE clause.
+
+    Supports ``col OP literal`` atoms joined by ``and``; literals are
+    ints, floats, or quoted strings.  Example (the paper's Fig 13 clause)::
+
+        url = 'http://streamlake_fin_app.com' and start_time >= 1656806400
+    """
+    atoms = []
+    for clause in text.split(" and "):
+        clause = clause.strip()
+        for op in ("<=", ">=", "=", "<", ">"):
+            if f" {op} " in clause:
+                column, _, literal_text = clause.partition(f" {op} ")
+                atoms.append(Predicate(column.strip(), op, _literal(literal_text)))
+                break
+        else:
+            raise ValueError(f"cannot parse predicate clause {clause!r}")
+    if len(atoms) == 1:
+        return atoms[0]
+    return And(*atoms)
+
+
+def _literal(text: str) -> object:
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    if text.startswith('"') and text.endswith('"'):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)

@@ -1,0 +1,105 @@
+"""Computation pushdown (Sections V-B, VII-A).
+
+"The three filters in the WHERE clause and the COUNT aggregate ... are
+pushed down to compute in StreamLake, so as to accelerate the query."
+
+Predicates and aggregates execute at the storage side, so only final
+results cross the bus to the compute engine instead of raw rows.
+:func:`execute_pushdown` evaluates an aggregate over already-filtered rows;
+the table object handles file/row-group pruning before calling it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+_AGG_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate function with optional GROUP BY columns.
+
+    ``column`` is ignored for COUNT (COUNT(*) semantics).
+    """
+
+    function: str
+    column: str | None = None
+    group_by: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.function not in _AGG_FUNCTIONS:
+            raise ValueError(
+                f"unsupported aggregate {self.function!r}; "
+                f"use one of {_AGG_FUNCTIONS}"
+            )
+        if self.function != "COUNT" and not self.column:
+            raise ValueError(f"{self.function} requires a column")
+
+    def columns(self) -> set[str]:
+        needed = set(self.group_by)
+        if self.column:
+            needed.add(self.column)
+        return needed
+
+
+@dataclass
+class _Accumulator:
+    count: int = 0
+    total: float = 0.0
+    minimum: object = None
+    maximum: object = None
+
+    def add(self, value: object) -> None:
+        self.count += 1
+        if value is None:
+            return
+        if isinstance(value, (int, float)):
+            self.total += value
+        if self.minimum is None or value < self.minimum:  # type: ignore[operator]
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:  # type: ignore[operator]
+            self.maximum = value
+
+    def result(self, function: str) -> object:
+        if function == "COUNT":
+            return self.count
+        if function == "SUM":
+            return self.total
+        if function == "AVG":
+            return self.total / self.count if self.count else None
+        if function == "MIN":
+            return self.minimum
+        return self.maximum
+
+
+def execute_pushdown(rows: list[dict[str, object]],
+                     aggregate: AggregateSpec) -> list[dict[str, object]]:
+    """Aggregate filtered rows storage-side.
+
+    Returns one result row per group (a single row when there is no
+    GROUP BY), shaped like ``{*group_by, aggregate.function: value}``.
+    """
+    groups: dict[tuple, _Accumulator] = {}
+    for row in rows:
+        group_key = tuple(row.get(column) for column in aggregate.group_by)
+        accumulator = groups.setdefault(group_key, _Accumulator())
+        accumulator.add(row.get(aggregate.column) if aggregate.column else 1)
+    if not groups and not aggregate.group_by:
+        groups[()] = _Accumulator()
+    out = []
+    for group_key in sorted(groups, key=repr):
+        result_row: dict[str, object] = dict(zip(aggregate.group_by, group_key))
+        result_row[aggregate.function] = groups[group_key].result(
+            aggregate.function
+        )
+        out.append(result_row)
+    return out
+
+
+def result_size_bytes(rows: list[dict[str, object]]) -> int:
+    """Approximate wire size of a result set crossing the bus."""
+    return sum(
+        sum(len(str(value)) + 8 for value in row.values()) for row in rows
+    )

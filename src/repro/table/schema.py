@@ -1,0 +1,175 @@
+"""Table schemas and partition specifications.
+
+A schema types every column; a partition spec maps a row to the partition
+directory it belongs to (Fig 5: "each sub-directory name represents its
+partition range").  Supported transforms: ``identity`` (value as-is),
+``day`` (epoch-seconds timestamp -> day number, the paper's hour/day log
+partitioning) and ``hour``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    BOOL = "bool"
+    #: epoch seconds, stored as int64 but eligible for day/hour transforms
+    TIMESTAMP = "timestamp"
+
+    @property
+    def python_types(self) -> tuple[type, ...]:
+        if self in (ColumnType.INT64, ColumnType.TIMESTAMP):
+            return (int,)
+        if self is ColumnType.FLOAT64:
+            return (int, float)
+        if self is ColumnType.STRING:
+            return (str,)
+        return (bool,)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed, optionally nullable column."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def validate(self, value: object) -> None:
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if self.type is ColumnType.BOOL and not isinstance(value, bool):
+            raise SchemaError(
+                f"column {self.name!r} expects bool, got {type(value).__name__}"
+            )
+        if self.type is not ColumnType.BOOL and isinstance(value, bool):
+            raise SchemaError(f"column {self.name!r}: bool is not a valid value")
+        if not isinstance(value, self.type.python_types):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.value}, "
+                f"got {type(value).__name__}"
+            )
+
+
+class Schema:
+    """Ordered collection of columns."""
+
+    def __init__(self, columns: list[Column]) -> None:
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self.columns = list(columns)
+        self._by_name = {column.name: column for column in columns}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @property
+    def names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        column = self._by_name.get(name)
+        if column is None:
+            raise SchemaError(f"no column {name!r} in schema {self.names}")
+        return column
+
+    def validate_row(self, row: dict[str, object]) -> None:
+        """Check a row dict has exactly the schema's columns, typed right."""
+        extra = set(row) - set(self._by_name)
+        if extra:
+            raise SchemaError(f"unknown columns {sorted(extra)}")
+        for column in self.columns:
+            if column.name not in row:
+                if not column.nullable:
+                    raise SchemaError(f"missing column {column.name!r}")
+                continue
+            column.validate(row[column.name])
+
+    def to_dict(self) -> dict[str, str]:
+        return {column.name: column.type.value for column in self.columns}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, str]) -> "Schema":
+        """Parse the topic-config shape: {name: type_string}."""
+        return cls(
+            [Column(name, ColumnType(type_name)) for name, type_name in raw.items()]
+        )
+
+
+_SECONDS_PER_DAY = 86_400
+_SECONDS_PER_HOUR = 3_600
+
+_TRANSFORMS = {
+    "identity": lambda value: value,
+    "day": lambda value: int(value) // _SECONDS_PER_DAY,
+    "hour": lambda value: int(value) // _SECONDS_PER_HOUR,
+}
+
+
+@dataclass(frozen=True)
+class PartitionField:
+    """One (column, transform) partition dimension."""
+
+    column: str
+    transform: str = "identity"
+
+    def apply(self, row: dict[str, object]) -> object:
+        if self.transform not in _TRANSFORMS:
+            raise SchemaError(f"unknown partition transform {self.transform!r}")
+        value = row.get(self.column)
+        if value is None:
+            return "__null__"
+        return _TRANSFORMS[self.transform](value)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Maps rows to partition keys (directory names under /data)."""
+
+    fields: tuple[PartitionField, ...] = ()
+
+    @classmethod
+    def by(cls, *specs: str) -> "PartitionSpec":
+        """Build from strings like 'province' or 'day(start_time)'."""
+        fields = []
+        for spec in specs:
+            if "(" in spec:
+                transform, _, rest = spec.partition("(")
+                column = rest.rstrip(")")
+                fields.append(PartitionField(column=column, transform=transform))
+            else:
+                fields.append(PartitionField(column=spec))
+        return cls(fields=tuple(fields))
+
+    @property
+    def is_partitioned(self) -> bool:
+        return bool(self.fields)
+
+    def key_of(self, row: dict[str, object]) -> str:
+        """Partition directory name for a row, e.g. 'province=11/day=19400'."""
+        if not self.fields:
+            return "all"
+        parts = []
+        for field_ in self.fields:
+            label = (
+                field_.column
+                if field_.transform == "identity"
+                else f"{field_.transform}_{field_.column}"
+            )
+            parts.append(f"{label}={field_.apply(row)}")
+        return "/".join(parts)

@@ -1,0 +1,259 @@
+"""A minimal SQL SELECT front end (the paper's Fig 13 query, verbatim).
+
+Supported grammar (case-insensitive keywords)::
+
+    SELECT <item> [, <item>...]
+    FROM <table>
+    [WHERE <col> <op> <literal> [AND ...]]
+    [GROUP BY <col> [, <col>...]]
+    [ORDER BY <col|alias> [DESC]]
+    [LIMIT <n>]
+
+where ``<item>`` is ``*``, a column, or ``COUNT(*)|SUM(c)|AVG(c)|MIN(c)|
+MAX(c)`` with an optional ``AS alias``; ``<op>`` is one of
+``= < <= > >= IN``; literals are ints, floats or quoted strings.  SQL
+comments (``-- ...``) are stripped, so the paper's annotated listing
+parses as printed.
+
+This is deliberately a thin veneer over
+:meth:`~repro.table.table.TableObject.select` — predicates and aggregates
+still push down to the storage side.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.table.expr import And, Expression, Predicate
+from repro.table.pushdown import AggregateSpec
+from repro.table.table import Lakehouse, QueryStats, TableObject
+
+_AGG_RE = re.compile(
+    r"^(COUNT|SUM|AVG|MIN|MAX)\s*\(\s*(\*|[A-Za-z_][A-Za-z_0-9]*)\s*\)$",
+    re.IGNORECASE,
+)
+_CLAUSE_RE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<table>[A-Za-z_][\w.]*)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?"
+    r"(?:\s+GROUP\s+BY\s+(?P<group>.+?))?"
+    r"(?:\s+ORDER\s+BY\s+(?P<order>.+?))?"
+    r"(?:\s+LIMIT\s+(?P<limit>\d+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+class SQLError(SchemaError):
+    """A statement failed to parse or referenced unknown names."""
+
+
+@dataclass
+class _SelectItem:
+    column: str | None  # None for aggregates / '*'
+    aggregate: tuple[str, str | None] | None  # (function, column)
+    alias: str | None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            return self.aggregate[0]
+        return self.column or "*"
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT, ready to execute."""
+
+    table: str
+    items: list[_SelectItem]
+    predicate: Expression | None
+    group_by: tuple[str, ...]
+    order_by: str | None
+    order_desc: bool
+    limit: int | None
+    star: bool = field(default=False)
+
+
+def _strip_comments(sql: str) -> str:
+    return "\n".join(line.split("--", 1)[0] for line in sql.splitlines())
+
+
+def _parse_literal(text: str) -> object:
+    text = text.strip()
+    if (text.startswith("'") and text.endswith("'")) or (
+        text.startswith('"') and text.endswith('"')
+    ):
+        return text[1:-1]
+    if text.startswith("(") and text.endswith(")"):
+        return tuple(_parse_literal(part) for part in text[1:-1].split(","))
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError as error:
+        raise SQLError(f"cannot parse literal {text!r}") from error
+
+
+def _parse_where(clause: str) -> Expression:
+    atoms: list[Predicate] = []
+    for part in re.split(r"\s+AND\s+", clause, flags=re.IGNORECASE):
+        part = part.strip()
+        match = re.match(
+            r"^([A-Za-z_][\w]*)\s*(<=|>=|=|<|>|IN)\s*(.+)$",
+            part, re.IGNORECASE,
+        )
+        if match is None:
+            raise SQLError(f"cannot parse WHERE clause near {part!r}")
+        column, op, literal_text = match.groups()
+        atoms.append(
+            Predicate(column, op.upper(), _parse_literal(literal_text))
+        )
+    return atoms[0] if len(atoms) == 1 else And(*atoms)
+
+
+def _parse_select_items(clause: str) -> tuple[list[_SelectItem], bool]:
+    items: list[_SelectItem] = []
+    star = False
+    for raw in _split_commas(clause):
+        raw = raw.strip()
+        alias = None
+        alias_match = re.match(r"^(.*?)\s+AS\s+([A-Za-z_][\w]*)$", raw,
+                               re.IGNORECASE)
+        if alias_match:
+            raw, alias = alias_match.group(1).strip(), alias_match.group(2)
+        if raw == "*":
+            star = True
+            continue
+        agg_match = _AGG_RE.match(raw)
+        if agg_match:
+            function = agg_match.group(1).upper()
+            column = agg_match.group(2)
+            column = None if column == "*" else column
+            if function != "COUNT" and column is None:
+                raise SQLError(f"{function}(*) is not supported")
+            items.append(_SelectItem(column=None,
+                                     aggregate=(function, column),
+                                     alias=alias))
+        elif re.match(r"^[A-Za-z_][\w]*$", raw):
+            items.append(_SelectItem(column=raw, aggregate=None, alias=alias))
+        else:
+            raise SQLError(f"cannot parse select item {raw!r}")
+    return items, star
+
+
+def _split_commas(clause: str) -> list[str]:
+    """Split on commas not inside parentheses."""
+    parts, depth, current = [], 0, []
+    for char in clause:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    cleaned = " ".join(_strip_comments(sql).split())
+    match = _CLAUSE_RE.match(cleaned)
+    if match is None:
+        raise SQLError(f"cannot parse statement: {sql.strip()[:80]!r}")
+    items, star = _parse_select_items(match.group("select"))
+    if not items and not star:
+        raise SQLError("empty select list")
+    predicate = (
+        _parse_where(match.group("where")) if match.group("where") else None
+    )
+    group_by: tuple[str, ...] = ()
+    if match.group("group"):
+        group_by = tuple(
+            part.strip() for part in match.group("group").split(",")
+        )
+    order_by, order_desc = None, False
+    if match.group("order"):
+        order_clause = match.group("order").strip()
+        order_desc = bool(re.search(r"\s+DESC$", order_clause, re.IGNORECASE))
+        order_by = re.sub(r"\s+(DESC|ASC)$", "", order_clause,
+                          flags=re.IGNORECASE).strip()
+    limit = int(match.group("limit")) if match.group("limit") else None
+    aggregates = [item for item in items if item.aggregate]
+    if len(aggregates) > 1:
+        raise SQLError("at most one aggregate per statement is supported")
+    if aggregates and star:
+        raise SQLError("cannot mix * with aggregates")
+    return SelectStatement(
+        table=match.group("table"),
+        items=items,
+        predicate=predicate,
+        group_by=group_by,
+        order_by=order_by,
+        order_desc=order_desc,
+        limit=limit,
+        star=star,
+    )
+
+
+def execute_select(statement: SelectStatement, lakehouse: Lakehouse,
+                   as_of: float | None = None,
+                   stats: QueryStats | None = None
+                   ) -> list[dict[str, object]]:
+    """Run a parsed statement against a lakehouse table."""
+    table: TableObject = lakehouse.table(statement.table)
+    aggregates = [item for item in statement.items if item.aggregate]
+    if aggregates:
+        function, column = aggregates[0].aggregate  # type: ignore[misc]
+        spec = AggregateSpec(function, column, group_by=statement.group_by)
+        rows = table.select(
+            predicate=statement.predicate, aggregate=spec,
+            as_of=as_of, stats=stats,
+        )
+        rename = {function: aggregates[0].output_name}
+        rows = [
+            {rename.get(key, key): value for key, value in row.items()}
+            for row in rows
+        ]
+    else:
+        if statement.group_by:
+            raise SQLError("GROUP BY requires an aggregate")
+        columns = (
+            None if statement.star
+            else [item.column for item in statement.items]  # type: ignore[misc]
+        )
+        rows = table.select(
+            predicate=statement.predicate, columns=columns,
+            as_of=as_of, stats=stats,
+        )
+        renames = {
+            item.column: item.alias
+            for item in statement.items
+            if item.alias and item.column
+        }
+        if renames:
+            rows = [
+                {renames.get(key, key): value for key, value in row.items()}
+                for row in rows
+            ]
+    if statement.order_by:
+        key = statement.order_by
+        rows.sort(key=lambda row: (row.get(key) is None, row.get(key)),
+                  reverse=statement.order_desc)
+    if statement.limit is not None:
+        rows = rows[: statement.limit]
+    return rows
+
+
+def query(lakehouse: Lakehouse, sql: str, as_of: float | None = None,
+          stats: QueryStats | None = None) -> list[dict[str, object]]:
+    """Parse and execute in one call (the public entry point)."""
+    return execute_select(parse_select(sql), lakehouse, as_of, stats)

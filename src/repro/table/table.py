@@ -1,0 +1,510 @@
+"""Table objects: lakehouse read/write operations (Section V-B).
+
+A :class:`TableObject` implements CREATE TABLE / INSERT / SELECT / DELETE /
+UPDATE / DROP over columnar data files in a storage pool, with:
+
+* snapshot isolation + optimistic concurrency control (commit conflicts
+  raise :class:`~repro.errors.CommitConflictError`);
+* time travel (``select(as_of=timestamp)``);
+* metadata through a pluggable :class:`~repro.table.metacache.MetadataStore`
+  (file-based baseline vs StreamLake's acceleration);
+* predicate + aggregate pushdown with file-level and row-group-level data
+  skipping;
+* a compute-side memory model for Fig 15(b): planning a query over a
+  file-based catalog must materialize every manifest in compute memory and
+  OOMs when the budget is too small, while the accelerated path keeps
+  manifests storage-side.
+
+:class:`Lakehouse` is the service owning the catalog and table registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import SimClock
+from repro.errors import (
+    CommitConflictError,
+    OutOfMemoryError,
+    TableNotFoundError,
+)
+from repro.storage.bus import DataBus
+from repro.storage.kv import KVEngine
+from repro.storage.pool import StoragePool
+from repro.table.catalog import Catalog, TableInfo
+from repro.table.columnar import ColumnarFile, ROW_GROUP_SIZE
+from repro.table.commit import CommitFile, DataFileMeta
+from repro.table.expr import Expression
+from repro.table.metacache import AcceleratedMetadataStore, MetadataStore
+from repro.table.pushdown import AggregateSpec, execute_pushdown, result_size_bytes
+from repro.table.schema import PartitionSpec, Schema
+from repro.table.snapshot import SnapshotLog
+
+#: Compute-side memory to hold one file's manifest while planning (bytes).
+PLANNING_BYTES_PER_FILE = 500
+#: Compute-side memory per scanned row during execution (bytes).
+EXECUTION_BYTES_PER_ROW = 64
+
+
+@dataclass
+class QueryStats:
+    """Observability for one SELECT: what was pruned, moved and charged."""
+
+    files_total: int = 0
+    files_scanned: int = 0
+    files_skipped: int = 0
+    row_groups_skipped: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    bytes_scanned: int = 0
+    bytes_skipped: int = 0
+    bytes_transferred: int = 0
+    metadata_cost_s: float = 0.0
+    data_cost_s: float = 0.0
+
+    @property
+    def total_cost_s(self) -> float:
+        return self.metadata_cost_s + self.data_cost_s
+
+
+def _parallel_read_time(costs: list[float], parallelism: int) -> float:
+    """Makespan of read tasks over ``parallelism`` workers (LPT greedy)."""
+    if not costs:
+        return 0.0
+    if parallelism == 1:
+        return sum(costs)
+    workers = [0.0] * parallelism
+    for cost in sorted(costs, reverse=True):
+        workers[workers.index(min(workers))] += cost
+    return max(workers)
+
+
+class TableObject:
+    """One lakehouse table: data files + commit/snapshot metadata."""
+
+    def __init__(self, info: TableInfo, catalog: Catalog, pool: StoragePool,
+                 meta_store: MetadataStore, bus: DataBus, clock: SimClock,
+                 row_group_size: int = ROW_GROUP_SIZE,
+                 commit_protocol_s: float = 0.0) -> None:
+        self.info = info
+        self._catalog = catalog
+        self._pool = pool
+        self._meta = meta_store
+        self._bus = bus
+        self._clock = clock
+        self._row_group_size = row_group_size
+        #: fixed cost of the ACID commit protocol (OCC validation + durable
+        #: snapshot publish) — the "extra metadata management" that makes
+        #: StreamLake slower than HDFS on tiny workloads (Section VII-B)
+        self.commit_protocol_s = commit_protocol_s
+        self.snapshots = SnapshotLog()
+        self._file_counter = 0
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.info.schema
+
+    @property
+    def partition_spec(self) -> PartitionSpec:
+        return self.info.partition_spec
+
+    # --- write path ---------------------------------------------------------
+
+    def begin(self) -> int:
+        """Start an optimistic transaction: capture the snapshot version."""
+        return self.snapshots.current_version
+
+    def insert(self, rows: list[dict[str, object]],
+               expected_version: int | None = None) -> float:
+        """INSERT: persist data files per partition, then commit metadata.
+
+        Returns simulated seconds.  Appends never conflict, so
+        ``expected_version`` is accepted for symmetry but not enforced.
+        """
+        del expected_version  # appends are conflict-free
+        if not rows:
+            raise ValueError("insert requires at least one row")
+        by_partition: dict[str, list[dict[str, object]]] = {}
+        for row in rows:
+            self.schema.validate_row(row)
+            by_partition.setdefault(
+                self.partition_spec.key_of(row), []
+            ).append(row)
+        added = []
+        cost = 0.0
+        for partition, partition_rows in sorted(by_partition.items()):
+            meta, write_cost = self._write_data_file(partition, partition_rows)
+            added.append(meta)
+            cost += write_cost
+        cost += self._commit("insert", added=added, removed=[])
+        return cost
+
+    def _write_data_file(self, partition: str,
+                         rows: list[dict[str, object]]
+                         ) -> tuple[DataFileMeta, float]:
+        data_file = ColumnarFile.from_rows(
+            self.schema, rows, self._row_group_size
+        )
+        path = f"{self.info.path}/data/{partition}/f{self._file_counter}.col"
+        self._file_counter += 1
+        payload = data_file.to_bytes()
+        cost = self._pool.store(path, payload)
+        self._clock.advance(cost)
+        meta = DataFileMeta(
+            path=path,
+            partition=partition,
+            record_count=data_file.num_rows,
+            size_bytes=len(payload),
+            value_ranges=data_file.file_stats(),
+        )
+        return meta, cost
+
+    def _commit(self, operation: str, added: list[DataFileMeta],
+                removed: list[str],
+                expected_version: int | None = None) -> float:
+        if expected_version is not None and removed:
+            current = self.snapshots.current_version
+            if current != expected_version:
+                live = {meta.path for meta in self.snapshots.live_files()}
+                if any(path not in live for path in removed):
+                    raise CommitConflictError(
+                        f"{self.name}: commit removes files already replaced "
+                        f"(expected v{expected_version}, at v{current})"
+                    )
+        commit = CommitFile(
+            commit_id=self.snapshots.new_commit_id(),
+            timestamp=self._clock.now,
+            operation=operation,
+            added=tuple(added),
+            removed=tuple(removed),
+        )
+        snapshot = self.snapshots.record(commit)
+        cost = self._meta.record_commit(self.info.path, commit, snapshot)
+        cost += self.commit_protocol_s
+        self._clock.advance(self.commit_protocol_s)
+        self._catalog.update_snapshot(
+            self.name, snapshot.snapshot_id, snapshot.summary, self._clock.now
+        )
+        return cost
+
+    # --- read path -------------------------------------------------------------
+
+    def select(self, predicate: Expression | None = None,
+               columns: list[str] | None = None,
+               aggregate: AggregateSpec | None = None,
+               as_of: float | None = None,
+               memory_budget_bytes: int | None = None,
+               read_parallelism: int = 1,
+               stats: QueryStats | None = None) -> list[dict[str, object]]:
+        """SELECT with pushdown; populates ``stats`` when provided.
+
+        ``read_parallelism`` models the paper's parallel read tasks
+        ("data is read from the persistence pool by read tasks",
+        Section V-B): per-file read costs aggregate in waves of that many
+        concurrent tasks instead of strictly serially.
+
+        Raises :class:`~repro.errors.OutOfMemoryError` when the compute-side
+        planning/working set exceeds ``memory_budget_bytes`` (only possible
+        on the file-based metadata path — the acceleration cache
+        "partially complements the allocated memory", Section VII-D).
+        """
+        if read_parallelism < 1:
+            raise ValueError("read_parallelism must be >= 1")
+        stats = stats if stats is not None else QueryStats()
+        snapshot = (
+            self.snapshots.snapshot_at(as_of) if as_of is not None else None
+        )
+        live = self.snapshots.live_files(snapshot)
+        stats.files_total = len(live)
+        stats.metadata_cost_s += self._meta.read_state_cost(
+            self.info.path,
+            num_commits=len(
+                snapshot.commit_ids
+                if snapshot is not None
+                else (self.snapshots.current.commit_ids
+                      if self.snapshots.current else ())
+            ),
+            num_live_files=len(live),
+        )
+        accelerated = isinstance(self._meta, AcceleratedMetadataStore)
+        if memory_budget_bytes is not None and not accelerated:
+            planning = len(live) * PLANNING_BYTES_PER_FILE
+            if planning > memory_budget_bytes:
+                raise OutOfMemoryError(
+                    f"{self.name}: planning needs {planning} bytes of compute "
+                    f"memory for {len(live)} manifests, budget is "
+                    f"{memory_budget_bytes}"
+                )
+        # file-level skipping on commit value ranges
+        candidates = []
+        for meta in live:
+            if predicate is not None and not predicate.possibly_matches(
+                meta.stats()
+            ):
+                stats.files_skipped += 1
+                stats.bytes_skipped += meta.size_bytes
+                continue
+            candidates.append(meta)
+        rows: list[dict[str, object]] = []
+        needed_columns = columns
+        if aggregate is not None:
+            needed_columns = sorted(aggregate.columns()) or []
+        read_costs: list[float] = []
+        for meta in candidates:
+            payload, read_cost = self._pool.fetch(meta.path)
+            read_costs.append(read_cost)
+            stats.files_scanned += 1
+            stats.bytes_scanned += meta.size_bytes
+            data_file = ColumnarFile.from_bytes(payload)
+            if predicate is not None:
+                stats.row_groups_skipped += data_file.skipped_row_groups(
+                    predicate
+                )
+            stats.rows_scanned += data_file.num_rows
+            rows.extend(data_file.scan(predicate, needed_columns))
+        stats.data_cost_s += _parallel_read_time(read_costs, read_parallelism)
+        if memory_budget_bytes is not None and not accelerated:
+            working = len(rows) * EXECUTION_BYTES_PER_ROW
+            if working > memory_budget_bytes:
+                raise OutOfMemoryError(
+                    f"{self.name}: execution working set {working} bytes "
+                    f"exceeds budget {memory_budget_bytes}"
+                )
+        if aggregate is not None:
+            result = execute_pushdown(rows, aggregate)
+        else:
+            result = rows
+        stats.rows_returned = len(result)
+        stats.bytes_transferred = result_size_bytes(result)
+        stats.data_cost_s += self._bus.transfer(stats.bytes_transferred)
+        self._clock.advance(stats.data_cost_s)
+        return result
+
+    # --- mutations ----------------------------------------------------------------
+
+    def delete(self, predicate: Expression) -> float:
+        """DELETE rows matching ``predicate`` (Section V-B semantics).
+
+        Files fully covered by the predicate are dropped metadata-only;
+        partially matching files are rewritten without the doomed rows.
+        """
+        expected = self.begin()
+        live = self.snapshots.live_files()
+        removed: list[str] = []
+        added: list[DataFileMeta] = []
+        cost = 0.0
+        for meta in live:
+            if not predicate.possibly_matches(meta.stats()):
+                continue
+            payload, read_cost = self._pool.fetch(meta.path)
+            cost += read_cost
+            data_file = ColumnarFile.from_bytes(payload)
+            survivors = [
+                row for row in data_file.scan() if not predicate.matches(row)
+            ]
+            if len(survivors) == data_file.num_rows:
+                continue  # statistics overlapped but nothing matched
+            removed.append(meta.path)
+            if survivors:
+                new_meta, write_cost = self._write_data_file(
+                    meta.partition, survivors
+                )
+                added.append(new_meta)
+                cost += write_cost
+        if not removed:
+            return cost
+        cost += self._commit(
+            "delete", added=added, removed=removed, expected_version=expected
+        )
+        # removed files stay in the pool: older snapshots still reference
+        # them (time travel); expire_snapshots reclaims the space later
+        return cost
+
+    def update(self, predicate: Expression,
+               set_values: dict[str, object]) -> float:
+        """UPDATE rows matching ``predicate`` with ``set_values``."""
+        for column in set_values:
+            self.schema.column(column)  # validates existence
+        expected = self.begin()
+        live = self.snapshots.live_files()
+        removed: list[str] = []
+        added: list[DataFileMeta] = []
+        cost = 0.0
+        for meta in live:
+            if not predicate.possibly_matches(meta.stats()):
+                continue
+            payload, read_cost = self._pool.fetch(meta.path)
+            cost += read_cost
+            data_file = ColumnarFile.from_bytes(payload)
+            changed = False
+            new_rows = []
+            for row in data_file.scan():
+                if predicate.matches(row):
+                    row = {**row, **set_values}
+                    changed = True
+                new_rows.append(row)
+            if not changed:
+                continue
+            removed.append(meta.path)
+            # rows may move partitions when a partition column changes
+            by_partition: dict[str, list[dict[str, object]]] = {}
+            for row in new_rows:
+                self.schema.validate_row(row)
+                by_partition.setdefault(
+                    self.partition_spec.key_of(row), []
+                ).append(row)
+            for partition, partition_rows in sorted(by_partition.items()):
+                new_meta, write_cost = self._write_data_file(
+                    partition, partition_rows
+                )
+                added.append(new_meta)
+                cost += write_cost
+        if not removed:
+            return cost
+        cost += self._commit(
+            "update", added=added, removed=removed, expected_version=expected
+        )
+        return cost
+
+    def compact(self, partition: str, target_file_bytes: int,
+                expected_version: int | None = None) -> float:
+        """Merge a partition's small files toward ``target_file_bytes``.
+
+        Used by LakeBrain's auto-compaction; conflicts with concurrent
+        commits that replaced the same files raise CommitConflictError.
+        """
+        expected = (
+            expected_version if expected_version is not None else self.begin()
+        )
+        # plan against the snapshot the caller observed: a concurrent
+        # commit replacing these files then conflicts at commit time
+        planning_snapshot = (
+            self.snapshots.snapshot_by_id(expected) if expected >= 0 else None
+        )
+        if planning_snapshot is None:
+            return 0.0
+        live = [
+            meta for meta in self.snapshots.live_files(planning_snapshot)
+            if meta.partition == partition
+            and meta.size_bytes < target_file_bytes
+        ]
+        if len(live) < 2:
+            return 0.0
+        rows: list[dict[str, object]] = []
+        cost = 0.0
+        for meta in live:
+            payload, read_cost = self._pool.fetch(meta.path)
+            cost += read_cost
+            rows.extend(ColumnarFile.from_bytes(payload).scan())
+        new_meta, write_cost = self._write_data_file(partition, rows)
+        cost += write_cost
+        removed = [meta.path for meta in live]
+        cost += self._commit(
+            "compact", added=[new_meta], removed=removed,
+            expected_version=expected,
+        )
+        return cost
+
+    # --- maintenance -----------------------------------------------------------------
+
+    def expire_snapshots(self, older_than: float) -> int:
+        """Expire old snapshots; unreferenced data files are deleted."""
+        dropped, unreferenced = self.snapshots.expire(older_than)
+        for path in unreferenced:
+            if self._pool.has_extent(path):
+                self._pool.delete(path)
+        return dropped
+
+    def live_file_count(self) -> int:
+        return len(self.snapshots.live_files())
+
+    def partitions(self) -> dict[str, list[DataFileMeta]]:
+        out: dict[str, list[DataFileMeta]] = {}
+        for meta in self.snapshots.live_files():
+            out.setdefault(meta.partition, []).append(meta)
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(meta.size_bytes for meta in self.snapshots.live_files())
+
+
+class Lakehouse:
+    """Service facade: catalog + table registry over shared storage."""
+
+    def __init__(self, pool: StoragePool, bus: DataBus, clock: SimClock,
+                 catalog_kv: KVEngine | None = None,
+                 meta_store: MetadataStore | None = None,
+                 row_group_size: int = ROW_GROUP_SIZE,
+                 commit_protocol_s: float = 0.0) -> None:
+        self._pool = pool
+        self._bus = bus
+        self._clock = clock
+        kv = catalog_kv if catalog_kv is not None else KVEngine("catalog", clock)
+        self.catalog = Catalog(kv)
+        self.meta_store = (
+            meta_store
+            if meta_store is not None
+            else AcceleratedMetadataStore(
+                KVEngine("meta-cache", clock), pool, clock
+            )
+        )
+        self._row_group_size = row_group_size
+        self._commit_protocol_s = commit_protocol_s
+        self._tables: dict[str, TableObject] = {}
+
+    def create_table(self, name: str, schema: Schema,
+                     partition_spec: PartitionSpec | None = None,
+                     path: str | None = None) -> TableObject:
+        """CREATE TABLE: register in the catalog, create the directories."""
+        spec = partition_spec if partition_spec is not None else PartitionSpec()
+        info = self._catalog_create(name, schema, spec, path)
+        table = TableObject(
+            info, self.catalog, self._pool, self.meta_store, self._bus,
+            self._clock, self._row_group_size, self._commit_protocol_s,
+        )
+        self._tables[name] = table
+        return table
+
+    def _catalog_create(self, name: str, schema: Schema, spec: PartitionSpec,
+                        path: str | None) -> TableInfo:
+        table_path = path if path is not None else f"tables/{name}"
+        return self.catalog.create(
+            name, table_path, schema, spec, self._clock.now
+        )
+
+    def table(self, name: str) -> TableObject:
+        table = self._tables.get(name)
+        if table is None or not self.catalog.exists(name):
+            raise TableNotFoundError(f"no table {name!r}")
+        return table
+
+    def drop_table_soft(self, name: str) -> None:
+        """Unregister but keep data/metadata for future restoration."""
+        self.catalog.soft_delete(name, self._clock.now)
+
+    def restore_table(self, name: str, new_name: str) -> TableObject:
+        """Link a new table to a soft-deleted table's path (Section V-B)."""
+        info = self.catalog.restore(name, new_name, self._clock.now)
+        table = self._tables.pop(name)
+        table.info = info
+        self._tables[new_name] = table
+        return table
+
+    def drop_table_hard(self, name: str) -> None:
+        """Remove data, metadata (cache first, then disk) and catalog entry."""
+        table = self._tables.pop(name, None)
+        if table is None:
+            raise TableNotFoundError(f"no table {name!r}")
+        self._meta_drop(table)
+        self.catalog.hard_delete(name)
+
+    def _meta_drop(self, table: TableObject) -> None:
+        self.meta_store.drop(table.info.path)
+        for meta in table.snapshots.live_files():
+            if self._pool.has_extent(meta.path):
+                self._pool.delete(meta.path)
+        self._pool.garbage_collect()

@@ -1,0 +1,95 @@
+"""OpenMessaging-style benchmark driver (Section VII-C).
+
+An open-loop driver: fixed-size (1 KB) messages arrive at a target rate;
+each batch's service time comes from the system under test's simulated
+produce cost.  Latency per batch is queueing delay plus service time
+(single-queue approximation per stream), so offered rates beyond capacity
+show the latency blow-up a real OpenMessaging run would.
+
+The driver targets anything exposing ``deliver(stream_id, records) ->
+cost`` over a set of stream ids, which both the StreamLake service and a
+thin Kafka adapter satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.stats import Percentiles
+from repro.stream.records import MessageRecord
+
+MESSAGE_BYTES = 1024
+
+
+@dataclass
+class DriverReport:
+    """Outcome of one driver run at one offered rate."""
+
+    offered_rate: float
+    messages: int
+    achieved_throughput: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    sim_seconds: float
+
+
+class OpenMessagingDriver:
+    """Open-loop fixed-rate producer against a streaming service."""
+
+    def __init__(self, deliver, stream_ids: list[str],
+                 batch_size: int = 200) -> None:
+        """``deliver(stream_id, records) -> simulated seconds``."""
+        if not stream_ids:
+            raise ValueError("need at least one stream")
+        self._deliver = deliver
+        self._streams = list(stream_ids)
+        self.batch_size = batch_size
+
+    def run(self, rate_msgs_per_s: float, num_messages: int,
+            topic: str = "openmessaging") -> DriverReport:
+        """Offer ``num_messages`` at ``rate_msgs_per_s``; report latency."""
+        if rate_msgs_per_s <= 0:
+            raise ValueError("rate must be positive")
+        payload = b"m" * (MESSAGE_BYTES - 64)
+        batch_interval = self.batch_size / rate_msgs_per_s
+        # one virtual queue per stream: arrivals round-robin, service times
+        # from the system's produce cost
+        next_free = {stream: 0.0 for stream in self._streams}
+        latencies = Percentiles()
+        total_latency = 0.0
+        sent = 0
+        batch_index = 0
+        finish_time = 0.0
+        while sent < num_messages:
+            count = min(self.batch_size, num_messages - sent)
+            arrival = batch_index * batch_interval
+            stream = self._streams[batch_index % len(self._streams)]
+            records = [
+                MessageRecord(
+                    topic=topic,
+                    key=str(sent + i),
+                    value=payload,
+                    timestamp=arrival,
+                )
+                for i in range(count)
+            ]
+            service = self._deliver(stream, records)
+            start = max(arrival, next_free[stream])
+            completion = start + service
+            next_free[stream] = completion
+            latency = completion - arrival
+            latencies.add(latency)
+            total_latency += latency * count
+            finish_time = max(finish_time, completion)
+            sent += count
+            batch_index += 1
+        return DriverReport(
+            offered_rate=rate_msgs_per_s,
+            messages=sent,
+            achieved_throughput=sent / finish_time if finish_time > 0 else 0.0,
+            mean_latency_s=total_latency / sent,
+            p50_latency_s=latencies.p50,
+            p99_latency_s=latencies.p99,
+            sim_seconds=finish_time,
+        )

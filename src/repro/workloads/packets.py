@@ -1,0 +1,123 @@
+"""Mobile app DPI packet workload (Section VII-A).
+
+China Mobile's use case: app-usage data packets averaging 1.2 KB, carrying
+the fields the paper's DAU query (Fig 13) filters on — url, start_time,
+province — plus user/device/traffic fields typical of DPI logs.  The
+generator is deterministic under a seed, and marks a clustered fraction of
+records "dirty" (needing normalization) and "unlabeled" (needing the
+labeling stage) so the ETL pipeline's delta writes touch a realistic
+subset of partitions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+#: The paper's average packet size; used for nominal volume accounting.
+PACKET_NOMINAL_BYTES = 1200
+
+#: The app the paper's example DAU query counts.
+FIN_APP_URL = "http://streamlake_fin_app.com"
+
+_URLS = [
+    FIN_APP_URL,
+    "http://video.example.com",
+    "http://social.example.com",
+    "http://shop.example.com",
+    "http://news.example.com",
+    "http://game.example.com",
+    "http://map.example.com",
+    "http://mail.example.com",
+]
+
+#: The paper's query window starts July 3rd, 2022.
+BASE_TIMESTAMP = 1_656_806_400
+
+PROVINCES = [f"province_{index:02d}" for index in range(31)]
+
+
+@dataclass(frozen=True)
+class PacketConfig:
+    """Shape of the generated packet stream."""
+
+    num_packets: int
+    #: packets span this many hours of start_time
+    hours: int = 48
+    #: fraction of packets with malformed fields (normalization fixes them)
+    dirty_fraction: float = 0.15
+    #: fraction of packets arriving without a label (labeling stage fills)
+    unlabeled_fraction: float = 0.2
+    #: dirty/unlabeled packets cluster into this fraction of the hours
+    cluster_fraction: float = 0.25
+    seed: int = 7
+
+
+class PacketGenerator:
+    """Deterministic stream of DPI packet rows."""
+
+    SCHEMA = {
+        "url": "string",
+        "start_time": "timestamp",
+        "province": "string",
+        "user_id": "int64",
+        "bytes_up": "int64",
+        "bytes_down": "int64",
+        "app_label": "string",
+        "dirty": "bool",
+    }
+
+    def __init__(self, config: PacketConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        hours = np.arange(config.hours)
+        self._rng.shuffle(hours)
+        cluster_size = max(1, int(config.hours * config.cluster_fraction))
+        self._hot_hours = set(int(h) for h in hours[:cluster_size])
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        """Yield packet rows (the post-parse shape inserted into tables)."""
+        config = self.config
+        rng = self._rng
+        for _ in range(config.num_packets):
+            hour = int(rng.integers(0, config.hours))
+            in_hot_hour = hour in self._hot_hours
+            dirty = bool(
+                in_hot_hour
+                and rng.random() < config.dirty_fraction / max(
+                    1e-9, config.cluster_fraction
+                )
+            )
+            unlabeled = bool(
+                in_hot_hour
+                and rng.random() < config.unlabeled_fraction / max(
+                    1e-9, config.cluster_fraction
+                )
+            )
+            url = _URLS[int(rng.integers(0, len(_URLS)))]
+            yield {
+                "url": url,
+                "start_time": BASE_TIMESTAMP
+                + hour * 3600
+                + int(rng.integers(0, 3600)),
+                "province": PROVINCES[int(rng.integers(0, len(PROVINCES)))],
+                "user_id": int(rng.integers(0, 1_000_000)),
+                "bytes_up": int(rng.integers(100, 100_000)),
+                "bytes_down": int(rng.integers(100, 1_000_000)),
+                "app_label": "" if unlabeled else url.split("//")[1].split(".")[0],
+                "dirty": dirty,
+            }
+
+    def messages(self) -> Iterator[tuple[str, bytes]]:
+        """Yield (key, json value) pairs for the streaming ingest path."""
+        for row in self.rows():
+            key = str(row["user_id"])
+            yield key, json.dumps(row, separators=(",", ":")).encode()
+
+    @property
+    def nominal_volume_bytes(self) -> int:
+        """The paper's raw volume: packets x 1.2 KB."""
+        return self.config.num_packets * PACKET_NOMINAL_BYTES

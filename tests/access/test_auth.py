@@ -1,0 +1,104 @@
+"""Unit tests for access-layer authentication and ACLs."""
+
+import pytest
+
+from repro.access.auth import (
+    AccessControl,
+    Action,
+    AuthenticationError,
+    AuthorizationError,
+    AuthToken,
+)
+
+
+@pytest.fixture
+def acl():
+    acl = AccessControl()
+    acl.register("alice", "s3cret")
+    acl.register("bob", "hunter2")
+    acl.grant("alice", "s3/analytics", Action.READ, Action.WRITE)
+    acl.grant("bob", "s3/", Action.READ)
+    return acl
+
+
+def test_authenticate_good_credentials(acl):
+    token = acl.authenticate("alice", "s3cret")
+    assert token.principal == "alice"
+
+
+def test_authenticate_bad_secret(acl):
+    with pytest.raises(AuthenticationError):
+        acl.authenticate("alice", "wrong")
+
+
+def test_authenticate_unknown_principal(acl):
+    with pytest.raises(AuthenticationError):
+        acl.authenticate("mallory", "x")
+
+
+def test_duplicate_registration(acl):
+    with pytest.raises(ValueError):
+        acl.register("alice", "again")
+
+
+def test_check_allows_granted_action(acl):
+    token = acl.authenticate("alice", "s3cret")
+    acl.check(token, "s3/analytics/file", Action.WRITE)
+
+
+def test_check_denies_ungranted_action(acl):
+    token = acl.authenticate("bob", "hunter2")
+    acl.check(token, "s3/analytics/file", Action.READ)
+    with pytest.raises(AuthorizationError):
+        acl.check(token, "s3/analytics/file", Action.WRITE)
+
+
+def test_check_denies_outside_prefix(acl):
+    token = acl.authenticate("alice", "s3cret")
+    with pytest.raises(AuthorizationError):
+        acl.check(token, "s3/finance/file", Action.READ)
+
+
+def test_admin_implies_everything(acl):
+    acl.grant("alice", "block/", Action.ADMIN)
+    token = acl.authenticate("alice", "s3cret")
+    acl.check(token, "block/vol1", Action.READ)
+    acl.check(token, "block/vol1", Action.WRITE)
+
+
+def test_forged_token_rejected(acl):
+    forged = AuthToken(principal="alice", token_id="tok-999")
+    with pytest.raises(AuthenticationError):
+        acl.check(forged, "s3/analytics/x", Action.READ)
+
+
+def test_invalidated_token_rejected(acl):
+    token = acl.authenticate("alice", "s3cret")
+    acl.invalidate(token)
+    with pytest.raises(AuthenticationError):
+        acl.check(token, "s3/analytics/x", Action.READ)
+
+
+def test_token_principal_mismatch_rejected(acl):
+    token = acl.authenticate("bob", "hunter2")
+    stolen = AuthToken(principal="alice", token_id=token.token_id)
+    with pytest.raises(AuthenticationError):
+        acl.check(stolen, "s3/analytics/x", Action.READ)
+
+
+def test_revoke_all_kills_grants_and_tokens(acl):
+    token = acl.authenticate("alice", "s3cret")
+    acl.revoke_all("alice")
+    with pytest.raises(AuthenticationError):
+        acl.check(token, "s3/analytics/x", Action.READ)
+
+
+def test_allowed_convenience(acl):
+    token = acl.authenticate("bob", "hunter2")
+    assert acl.allowed(token, "s3/anything", Action.READ)
+    assert not acl.allowed(token, "s3/anything", Action.WRITE)
+
+
+def test_grant_unknown_principal_raises(acl):
+    with pytest.raises(ValueError):
+        acl.grant("mallory", "s3/", Action.READ)

@@ -1,0 +1,100 @@
+"""Unit tests for the DPC client."""
+
+import pytest
+
+from repro import build_streamlake
+from repro.access import PROTOCOL_OVERHEAD_S
+from repro.access.auth import AccessControl, Action
+from repro.access.dpc import DPC_OVERHEAD_S, DPCClient
+from repro.stream.config import TopicConfig
+from repro.table.schema import Column, ColumnType, Schema
+
+
+@pytest.fixture
+def lake():
+    lake = build_streamlake()
+    lake.streaming.create_topic("t", TopicConfig(stream_num=2))
+    return lake
+
+
+def full_client(lake, acl=None, token=None):
+    return DPCClient(
+        lake.clock, streaming=lake.streaming, lakehouse=lake.lakehouse,
+        object_pool=lake.hdd_pool, acl=acl, token=token,
+    )
+
+
+def test_stream_append_read_roundtrip(lake):
+    client = full_client(lake)
+    for index in range(10):
+        client.append_stream("t", f"k{index}", f"v{index}".encode())
+    records, cursors = client.read_stream("t")
+    assert len(records) == 10
+    # incremental read from the returned cursors
+    client.append_stream("t", "k-new", b"fresh")
+    more, cursors = client.read_stream("t", offsets=cursors)
+    assert [r.value for r in more] == [b"fresh"]
+
+
+def test_sql_through_dpc(lake):
+    table = lake.lakehouse.create_table(
+        "nums", Schema([Column("v", ColumnType.INT64)])
+    )
+    table.insert([{"v": i} for i in range(10)])
+    client = full_client(lake)
+    rows = client.sql("SELECT COUNT(*) FROM nums WHERE v >= 5")
+    assert rows == [{"COUNT": 5}]
+
+
+def test_raw_object_put_get(lake):
+    client = full_client(lake)
+    client.put("objects/a", b"payload")
+    payload, cost = client.get("objects/a")
+    assert payload == b"payload"
+    assert cost > DPC_OVERHEAD_S
+    client.put("objects/a", b"replaced")
+    assert client.get("objects/a")[0] == b"replaced"
+
+
+def test_missing_component_raises(lake):
+    bare = DPCClient(lake.clock)
+    with pytest.raises(RuntimeError):
+        bare.append_stream("t", "k", b"v")
+    with pytest.raises(RuntimeError):
+        bare.sql("SELECT COUNT(*) FROM x")
+    with pytest.raises(RuntimeError):
+        bare.put("k", b"v")
+
+
+def test_dpc_overhead_below_gateway_protocols(lake):
+    client = full_client(lake)
+    client.put("k", b"v")
+    per_op = client.overhead_s / client.operations
+    assert per_op == DPC_OVERHEAD_S
+    assert per_op < min(
+        PROTOCOL_OVERHEAD_S["iscsi"],
+        PROTOCOL_OVERHEAD_S["nfs"],
+        PROTOCOL_OVERHEAD_S["s3"],
+    )
+
+
+def test_acl_enforced_on_dpc(lake):
+    acl = AccessControl()
+    acl.register("svc", "pw")
+    acl.grant("svc", "stream/t", Action.READ, Action.WRITE)
+    token = acl.authenticate("svc", "pw")
+    client = full_client(lake, acl=acl, token=token)
+    client.append_stream("t", "k", b"allowed")
+    with pytest.raises(PermissionError):
+        client.put("dpc-object/secret", b"x")  # no object grant
+    anonymous = full_client(lake, acl=acl, token=None)
+    with pytest.raises(PermissionError):
+        anonymous.append_stream("t", "k", b"v")
+
+
+def test_operation_counter(lake):
+    client = full_client(lake)
+    client.append_stream("t", "k", b"v")
+    client.read_stream("t")
+    client.put("o", b"x")
+    assert client.operations == 3

@@ -1,0 +1,94 @@
+"""Unit tests for the HDFS-like baseline."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.units import MiB
+from repro.baselines.hdfs import HDFS_BLOCK_SIZE, HDFSCluster
+
+
+@pytest.fixture
+def hdfs():
+    return HDFSCluster(SimClock(), num_datanodes=3, replication_factor=3)
+
+
+def test_block_size_is_128mb():
+    assert HDFS_BLOCK_SIZE == 128 * MiB
+
+
+def test_write_read(hdfs):
+    cost = hdfs.write("/a", 10 * MiB)
+    assert cost > 0
+    assert hdfs.exists("/a")
+    assert hdfs.file_size("/a") == 10 * MiB
+    assert hdfs.read("/a") > 0
+
+
+def test_write_splits_into_blocks(hdfs):
+    hdfs.write("/big", 300 * MiB)
+    entry = hdfs._files["/big"]
+    assert len(entry.blocks) == 3  # 128 + 128 + 44
+
+
+def test_empty_file_gets_one_block_entry(hdfs):
+    hdfs.write("/empty", 0)
+    assert hdfs.exists("/empty")
+    assert hdfs.file_size("/empty") == 0
+
+
+def test_replication_triples_storage(hdfs):
+    hdfs.write("/f", 10 * MiB)
+    assert hdfs.storage_bytes() == 30 * MiB
+    assert hdfs.logical_bytes() == 10 * MiB
+    assert hdfs.disk_utilization == pytest.approx(1 / 3)
+
+
+def test_duplicate_write_raises(hdfs):
+    hdfs.write("/f", 1)
+    with pytest.raises(FileExistsError):
+        hdfs.write("/f", 1)
+
+
+def test_read_missing_raises(hdfs):
+    with pytest.raises(FileNotFoundError):
+        hdfs.read("/ghost")
+
+
+def test_negative_size_raises(hdfs):
+    with pytest.raises(ValueError):
+        hdfs.write("/f", -1)
+
+
+def test_delete_frees_space(hdfs):
+    hdfs.write("/f", 5 * MiB)
+    hdfs.delete("/f")
+    assert not hdfs.exists("/f")
+    assert hdfs.storage_bytes() == 0
+    with pytest.raises(FileNotFoundError):
+        hdfs.delete("/f")
+
+
+def test_list_files_prefix(hdfs):
+    hdfs.write("/raw/h1", 1)
+    hdfs.write("/raw/h2", 1)
+    hdfs.write("/out/h1", 1)
+    assert hdfs.list_files("/raw") == ["/raw/h1", "/raw/h2"]
+    assert len(hdfs.list_files()) == 3
+
+
+def test_namenode_ops_counted(hdfs):
+    before = hdfs.namenode_ops
+    hdfs.write("/f", 200 * MiB)
+    # create + 2 addBlock + complete
+    assert hdfs.namenode_ops - before == 4
+
+
+def test_replication_validation():
+    with pytest.raises(ValueError):
+        HDFSCluster(SimClock(), num_datanodes=2, replication_factor=3)
+
+
+def test_costs_grow_with_size(hdfs):
+    small = hdfs.write("/small", 1 * MiB)
+    large = hdfs.write("/large", 100 * MiB)
+    assert large > small

@@ -1,0 +1,118 @@
+"""Unit tests for the ETL pipeline implementations."""
+
+import pytest
+
+from repro.baselines.pipeline import (
+    KafkaHdfsPipeline,
+    PipelineResult,
+    StreamLakePipeline,
+    _dau_predicate,
+    _hour_of,
+    _label,
+    _normalize,
+)
+from repro.workloads.packets import (
+    BASE_TIMESTAMP,
+    FIN_APP_URL,
+    PacketConfig,
+    PacketGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return list(PacketGenerator(PacketConfig(num_packets=1500)).rows())
+
+
+def test_normalize_clears_dirty_flag():
+    dirty = {"dirty": True, "app_label": "x", "url": "http://a.b"}
+    clean = _normalize(dirty)
+    assert clean["dirty"] is False
+    assert dirty["dirty"] is True  # input not mutated
+    already = {"dirty": False, "app_label": "x", "url": "http://a.b"}
+    assert _normalize(already) is already
+
+
+def test_label_fills_missing_labels():
+    unlabeled = {"app_label": "", "url": "http://video.example.com"}
+    assert _label(unlabeled)["app_label"] == "video"
+    labeled = {"app_label": "done", "url": "http://video.example.com"}
+    assert _label(labeled) is labeled
+
+
+def test_hour_of():
+    assert _hour_of({"start_time": 7200}) == 2
+
+
+def test_dau_predicate_matches_window():
+    predicate = _dau_predicate()
+    assert predicate.matches({"url": FIN_APP_URL,
+                              "start_time": BASE_TIMESTAMP + 100})
+    assert not predicate.matches({"url": FIN_APP_URL,
+                                  "start_time": BASE_TIMESTAMP + 86_400})
+    assert not predicate.matches({"url": "http://other",
+                                  "start_time": BASE_TIMESTAMP + 100})
+
+
+def test_result_throughput():
+    result = PipelineResult(system="x", num_packets=1000)
+    result.stream_seconds = 2.0
+    assert result.stream_throughput == 500.0
+    idle = PipelineResult(system="x", num_packets=10)
+    assert idle.stream_throughput == 0.0
+
+
+def test_kafka_hdfs_pipeline_accounting(rows):
+    result = KafkaHdfsPipeline().run(rows)
+    assert result.system == "HDFS+Kafka"
+    assert result.num_packets == len(rows)
+    assert result.storage_bytes > 0
+    assert result.stream_seconds > 0
+    # batch time is exactly the sum of the three batch stages
+    assert result.batch_seconds == pytest.approx(
+        sum(result.stage_seconds[name]
+            for name in ("normalization", "labeling", "query"))
+    )
+    # the DAU answer covers multiple provinces with positive counts
+    assert result.query_result
+    assert all(row["COUNT"] > 0 for row in result.query_result)
+
+
+def test_streamlake_pipeline_accounting(rows):
+    result = StreamLakePipeline().run(rows)
+    assert result.system == "StreamLake"
+    assert set(result.stage_seconds) >= {
+        "collection", "conversion", "normalization", "labeling", "query",
+    }
+    assert result.batch_seconds == pytest.approx(
+        sum(result.stage_seconds[name]
+            for name in ("conversion", "normalization", "labeling", "query"))
+    )
+
+
+def test_pipelines_agree_and_streamlake_stores_less(rows):
+    baseline = KafkaHdfsPipeline().run(rows)
+    streamlake = StreamLakePipeline().run(rows)
+    assert baseline.query_result == streamlake.query_result
+    assert streamlake.storage_bytes < baseline.storage_bytes / 3
+
+
+def test_streamlake_normalization_touches_only_dirty_partitions(rows):
+    pipeline = StreamLakePipeline()
+    result = pipeline.run(rows)
+    table = pipeline.lakehouse.table("dpi")
+    # after normalization, no dirty rows remain
+    from repro.table.expr import Predicate
+
+    assert table.select(Predicate("dirty", "=", True)) == []
+    # and labels are all filled
+    assert table.select(Predicate("app_label", "=", "")) == []
+    del result
+
+
+def test_deterministic_given_same_rows(rows):
+    first = KafkaHdfsPipeline().run(rows)
+    second = KafkaHdfsPipeline().run(rows)
+    assert first.storage_bytes == second.storage_bytes
+    assert first.batch_seconds == pytest.approx(second.batch_seconds)
+    assert first.query_result == second.query_result

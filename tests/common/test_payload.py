@@ -1,0 +1,42 @@
+"""Unit tests for the lazy Zeros payload."""
+
+import pytest
+
+from repro.common.payload import Zeros
+
+
+def test_length():
+    assert len(Zeros(1024)) == 1024
+
+
+def test_zero_length():
+    assert len(Zeros(0)) == 0
+
+
+def test_negative_raises():
+    with pytest.raises(ValueError):
+        Zeros(-1)
+
+
+def test_bytes_conversion():
+    assert bytes(Zeros(4)) == b"\x00\x00\x00\x00"
+
+
+def test_equality_with_zeros():
+    assert Zeros(3) == b"\x00\x00\x00"
+    assert Zeros(3) == Zeros(3)
+
+
+def test_inequality():
+    assert Zeros(3) != b"\x00\x01\x00"
+    assert Zeros(3) != Zeros(4)
+
+
+def test_hashable():
+    assert hash(Zeros(5)) == hash(Zeros(5))
+
+
+def test_no_allocation_for_huge_sizes():
+    # the whole point: a petabyte placeholder must be cheap
+    huge = Zeros(2**50)
+    assert len(huge) == 2**50

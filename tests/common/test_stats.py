@@ -1,0 +1,113 @@
+"""Unit and property tests for statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import OnlineStats, Percentiles
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def test_online_stats_basic():
+    stats = OnlineStats()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        stats.add(value)
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.variance == pytest.approx(1.25)
+
+
+def test_online_stats_single_sample_variance_zero():
+    stats = OnlineStats()
+    stats.add(42.0)
+    assert stats.variance == 0.0
+    assert stats.stddev == 0.0
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_online_stats_matches_naive(values):
+    stats = OnlineStats()
+    for value in values:
+        stats.add(value)
+    mean = sum(values) / len(values)
+    assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-4)
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100),
+       st.lists(finite_floats, min_size=0, max_size=100))
+def test_online_stats_merge_equals_combined(left, right):
+    separate = OnlineStats()
+    for value in left + right:
+        separate.add(value)
+    merged = OnlineStats()
+    for value in left:
+        merged.add(value)
+    other = OnlineStats()
+    for value in right:
+        other.add(value)
+    merged.merge(other)
+    assert merged.count == separate.count
+    assert merged.mean == pytest.approx(separate.mean, rel=1e-9, abs=1e-6)
+    assert merged.variance == pytest.approx(
+        separate.variance, rel=1e-6, abs=1e-4
+    )
+
+
+def test_merge_into_empty():
+    empty = OnlineStats()
+    other = OnlineStats()
+    other.add(3.0)
+    empty.merge(other)
+    assert empty.count == 1
+    assert empty.mean == 3.0
+
+
+def test_percentiles_quantiles():
+    samples = Percentiles()
+    for value in range(1, 101):
+        samples.add(float(value))
+    assert samples.p50 == pytest.approx(50.5)
+    assert samples.quantile(0.0) == 1.0
+    assert samples.quantile(1.0) == 100.0
+    assert samples.p99 == pytest.approx(99.01)
+
+
+def test_percentiles_single_sample():
+    samples = Percentiles()
+    samples.add(7.0)
+    assert samples.p50 == 7.0
+    assert samples.p99 == 7.0
+
+
+def test_percentiles_empty_raises():
+    with pytest.raises(ValueError):
+        Percentiles().quantile(0.5)
+
+
+def test_percentiles_rejects_out_of_range():
+    samples = Percentiles()
+    samples.add(1.0)
+    with pytest.raises(ValueError):
+        samples.quantile(1.5)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=100))
+def test_percentiles_monotone(values):
+    samples = Percentiles()
+    for value in values:
+        samples.add(value)
+    qs = [samples.quantile(q / 10) for q in range(11)]
+    for lower, upper in zip(qs, qs[1:]):
+        # allow interpolation rounding noise (incl. subnormal underflow)
+        tolerance = max(abs(lower), abs(upper)) * 1e-9 + 1e-300
+        assert upper >= lower - tolerance
+    assert qs[0] == min(values)
+    assert qs[-1] == max(values)

@@ -1,0 +1,49 @@
+"""Unit tests for size units and formatting."""
+
+import pytest
+
+from repro.common.units import GiB, KiB, MiB, TiB, format_bytes
+from repro.common.units import format_rate
+
+
+def test_unit_relationships():
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert TiB == 1024 * GiB
+
+
+def test_format_zero():
+    assert format_bytes(0) == "0 B"
+
+
+def test_format_bytes_small():
+    assert format_bytes(512) == "512 B"
+
+
+def test_format_kib():
+    assert format_bytes(1536) == "1.50 KiB"
+
+
+def test_format_gib():
+    assert format_bytes(3 * GiB) == "3.00 GiB"
+
+
+def test_format_huge_uses_largest_suffix():
+    assert "PiB" in format_bytes(5000 * TiB)
+
+
+def test_format_negative_raises():
+    with pytest.raises(ValueError):
+        format_bytes(-1)
+
+
+def test_format_rate_plain():
+    assert format_rate(850) == "850 msg/s"
+
+
+def test_format_rate_kilo():
+    assert format_rate(512_300) == "512.3k msg/s"
+
+
+def test_format_rate_mega():
+    assert format_rate(1_500_000, unit="req") == "1.50M req/s"

@@ -1,0 +1,139 @@
+"""Integration tests: full flows across subsystems."""
+
+import json
+
+from repro import build_streamlake
+from repro.baselines import KafkaHdfsPipeline, StreamLakePipeline
+from repro.stream.config import ConvertToTableConfig, TopicConfig
+from repro.table.conversion import StreamTableConverter
+from repro.table.expr import Predicate
+from repro.table.pushdown import AggregateSpec
+from repro.table.schema import Schema
+from repro.workloads.packets import PacketConfig, PacketGenerator
+
+
+def test_stream_to_table_to_stream_roundtrip():
+    """Messages -> stream object -> table object -> playback messages."""
+    lake = build_streamlake()
+    schema_dict = {"user": "string", "value": "int64"}
+    config = TopicConfig(
+        stream_num=2,
+        convert_2_table=ConvertToTableConfig(
+            enabled=True, table_schema=schema_dict, table_path="tables/e",
+            split_offset=10,
+        ),
+    )
+    lake.streaming.create_topic("events", config)
+    table = lake.lakehouse.create_table(
+        "e", Schema.from_dict(schema_dict), path="tables/e"
+    )
+    converter = StreamTableConverter(lake.streaming, "events", table,
+                                     lake.clock)
+    producer = lake.producer(batch_size=5)
+    originals = [{"user": f"u{i}", "value": i} for i in range(40)]
+    for row in originals:
+        producer.send("events", json.dumps(row).encode(), key=row["user"])
+    producer.flush()
+    report = converter.run_cycle(force=True)
+    assert report.converted == 40
+
+    # table sees exactly the stream contents
+    assert sorted(r["value"] for r in table.select()) == list(range(40))
+
+    # playback re-streams the table rows
+    lake.streaming.create_topic("replay", TopicConfig(stream_num=1))
+    produced, _ = converter.playback("replay")
+    assert produced == 40
+    consumer = lake.consumer()
+    consumer.subscribe("replay")
+    replayed, _ = consumer.drain()
+    values = sorted(json.loads(r.value)["value"] for r in replayed)
+    assert values == list(range(40))
+
+
+def test_one_copy_serves_stream_and_batch():
+    """The paper's core claim: the same data serves real-time consumers
+    (stream reads) and analytical queries (table reads) without a second
+    ingest."""
+    lake = build_streamlake()
+    schema_dict = {"user": "string", "value": "int64"}
+    config = TopicConfig(
+        stream_num=1,
+        convert_2_table=ConvertToTableConfig(
+            enabled=True, table_schema=schema_dict, table_path="tables/one",
+            split_offset=10**9, delete_msg=False,
+        ),
+    )
+    lake.streaming.create_topic("one", config)
+    table = lake.lakehouse.create_table(
+        "one", Schema.from_dict(schema_dict), path="tables/one"
+    )
+    converter = StreamTableConverter(lake.streaming, "one", table, lake.clock)
+    producer = lake.producer(batch_size=10)
+    for index in range(30):
+        producer.send("one", json.dumps({"user": "u", "value": index}).encode())
+    producer.flush()
+    # real-time branch
+    consumer = lake.consumer()
+    consumer.subscribe("one")
+    assert len(consumer.drain()[0]) == 30
+    # batch branch over the same stream data
+    converter.run_cycle(force=True)
+    assert table.select(aggregate=AggregateSpec("COUNT")) == [{"COUNT": 30}]
+    # stream remains consumable (delete_msg=False)
+    late_consumer = lake.consumer()
+    late_consumer.subscribe("one")
+    assert len(late_consumer.drain()[0]) == 30
+
+
+def test_pipeline_parity_between_stacks():
+    """Both pipeline implementations compute identical query answers."""
+    rows = list(PacketGenerator(PacketConfig(num_packets=3000)).rows())
+    hk = KafkaHdfsPipeline().run(rows)
+    sl = StreamLakePipeline().run(rows)
+    assert hk.query_result == sl.query_result
+    assert sl.query_result  # the DAU answer is non-trivial
+    assert hk.storage_bytes > sl.storage_bytes
+
+
+def test_lakehouse_acid_over_converted_data():
+    """Update/delete/time-travel on a table born from a stream."""
+    lake = build_streamlake()
+    schema_dict = {"user": "string", "value": "int64"}
+    config = TopicConfig(
+        stream_num=1,
+        convert_2_table=ConvertToTableConfig(
+            enabled=True, table_schema=schema_dict, table_path="tables/acid",
+            split_offset=5,
+        ),
+    )
+    lake.streaming.create_topic("acid", config)
+    table = lake.lakehouse.create_table(
+        "acid", Schema.from_dict(schema_dict), path="tables/acid"
+    )
+    converter = StreamTableConverter(lake.streaming, "acid", table, lake.clock)
+    producer = lake.producer(batch_size=1)
+    for index in range(20):
+        producer.send("acid", json.dumps({"user": "u", "value": index}).encode())
+    converter.run_cycle(force=True)
+    before = lake.clock.now
+    lake.clock.advance(5)
+    table.delete(Predicate("value", "<", 10))
+    assert len(table.select()) == 10
+    assert len(table.select(as_of=before)) == 20
+
+
+def test_facade_builds_working_cluster():
+    lake = build_streamlake(ssd_disks=6, hdd_disks=6, num_workers=2,
+                            scm_cache_bytes=2**30)
+    lake.streaming.create_topic("t")
+    producer = lake.producer()
+    for index in range(150):
+        producer.send("t", f"m{index}".encode(), key=str(index))
+    producer.flush()
+    consumer = lake.consumer()
+    consumer.subscribe("t")
+    assert len(consumer.drain()[0]) == 150
+    # tiering service wired to the same pools
+    lake.tiering.store("cold-candidate", b"x" * 100)
+    assert lake.tiering.tier_of("cold-candidate") == "hot"

@@ -1,0 +1,133 @@
+"""Integration tests across the platform additions: access layer, consumer
+groups, SQL, function engine, geo-replication, compaction service."""
+
+import json
+
+import pytest
+
+from repro import build_streamlake
+from repro.access.auth import AccessControl, Action
+from repro.access.object import S3ObjectService
+from repro.lakebrain.compaction import DefaultCompactionPolicy
+from repro.lakebrain.service import CompactionService
+from repro.service.functions import FunctionEngine
+from repro.storage.disk import HDD_PROFILE
+from repro.storage.georep import RemoteReplicationService
+from repro.storage.pool import StoragePool
+from repro.storage.replication import Replication
+from repro.stream.config import ConvertToTableConfig, TopicConfig
+from repro.stream.groups import GroupConsumer, GroupCoordinator
+from repro.table.conversion import StreamTableConverter
+from repro.table.schema import PartitionSpec, Schema
+from repro.table.sql import query
+
+SCHEMA_DICT = {"user": "string", "value": "int64"}
+
+
+def build_converted_table(lake, messages=200):
+    lake.streaming.create_topic("events", TopicConfig(
+        stream_num=3,
+        convert_2_table=ConvertToTableConfig(
+            enabled=True, table_schema=SCHEMA_DICT,
+            table_path="tables/events", split_offset=10**9,
+        ),
+    ))
+    table = lake.lakehouse.create_table(
+        "events", Schema.from_dict(SCHEMA_DICT),
+        PartitionSpec.by("user"), path="tables/events",
+    )
+    producer = lake.producer(batch_size=20)
+    for index in range(messages):
+        producer.send("events", json.dumps(
+            {"user": f"u{index % 4}", "value": index}
+        ).encode(), key=f"u{index % 4}")
+    producer.flush()
+    converter = StreamTableConverter(lake.streaming, "events", table,
+                                     lake.clock)
+    converter.run_cycle(force=True)
+    return table
+
+
+def test_group_consumption_then_sql_agree():
+    """The stream view (consumer group) and the batch view (SQL over the
+    converted table) must account for exactly the same records."""
+    lake = build_streamlake()
+    table = build_converted_table(lake, messages=120)
+    coordinator = GroupCoordinator(lake.streaming)
+    members = [GroupConsumer(coordinator, "g", member_id=f"m{i}")
+               for i in range(3)]
+    for member in members:
+        member.subscribe(["events"])
+    streamed = sum(len(member.poll(10_000)[0]) for member in members)
+    counted = query(lake.lakehouse, "SELECT COUNT(*) FROM events")
+    assert streamed == 120
+    assert counted[0]["COUNT"] == 120
+
+
+def test_background_functions_drive_whole_platform():
+    """Tiering + geo-replication + compaction all run as functions."""
+    lake = build_streamlake()
+    table = build_converted_table(lake, messages=100)
+    # fragment the table with extra small inserts
+    for batch in range(4):
+        table.insert([{"user": f"u{i % 4}", "value": 1000 + batch * 10 + i}
+                      for i in range(8)])
+    remote = StoragePool("remote", lake.clock, policy=Replication(2))
+    remote.add_disks(HDD_PROFILE, 3)
+    replication = RemoteReplicationService(
+        lake.hdd_pool, remote, lake.clock, period_s=60.0
+    )
+    compactor = CompactionService(lake.clock, DefaultCompactionPolicy(1))
+    compactor.watch(table)
+    engine = FunctionEngine(lake.clock)
+    engine.register("compact", compactor.run_cycle, period_s=30.0)
+    engine.register("geo-rep", lambda: replication.run_cycle(force=True),
+                    period_s=60.0)
+    engine.run_for(duration_s=120.0, tick_every_s=30.0)
+    assert compactor.stats["events"].compactions > 0
+    assert not replication.pending_extents()
+    # the compacted, replicated table still answers correctly
+    result = query(lake.lakehouse, "SELECT COUNT(*) FROM events")
+    assert result[0]["COUNT"] == 132
+
+
+def test_acl_protected_export_of_query_results():
+    """Query the lakehouse, export results through the S3 access layer."""
+    lake = build_streamlake()
+    build_converted_table(lake, messages=60)
+    rows = query(lake.lakehouse,
+                 "SELECT COUNT(*) AS n FROM events GROUP BY user")
+    acl = AccessControl()
+    acl.register("exporter", "pw")
+    acl.grant("exporter", "s3/reports", Action.ADMIN)
+    acl.register("intruder", "pw2")
+    s3 = S3ObjectService(lake.hdd_pool, lake.clock, acl=acl)
+    token = acl.authenticate("exporter", "pw")
+    s3.create_bucket("reports", token=token)
+    payload = json.dumps(rows).encode()
+    s3.put_object("reports", "daily/users.json", payload, token=token)
+    fetched, _ = s3.get_object("reports", "daily/users.json", token=token)
+    assert json.loads(fetched) == rows
+    bad_token = acl.authenticate("intruder", "pw2")
+    with pytest.raises(PermissionError):
+        s3.get_object("reports", "daily/users.json", token=bad_token)
+
+
+def test_compaction_service_reduces_query_planning_cost():
+    """End to end: compaction shrinks the file count a query must plan."""
+    from repro.table.table import QueryStats
+
+    lake = build_streamlake()
+    table = build_converted_table(lake, messages=40)
+    for batch in range(6):
+        table.insert([{"user": f"u{i % 4}", "value": batch * 100 + i}
+                      for i in range(8)])
+    stats_before = QueryStats()
+    table.select(stats=stats_before)
+    compactor = CompactionService(lake.clock, DefaultCompactionPolicy(1))
+    compactor.watch(table)
+    compactor.run_cycle()
+    stats_after = QueryStats()
+    rows = table.select(stats=stats_after)
+    assert stats_after.files_total < stats_before.files_total
+    assert len(rows) == 40 + 48

@@ -1,0 +1,81 @@
+"""Unit tests for compaction policies and the training loop."""
+
+import pytest
+
+from repro.lakebrain.compaction import (
+    ACTION_COMPACT,
+    ACTION_SKIP,
+    AutoCompactionPolicy,
+    DefaultCompactionPolicy,
+    NoCompactionPolicy,
+    run_policy,
+    train_auto_compaction,
+)
+from repro.lakebrain.env import CompactionEnv, EnvConfig
+from repro.lakebrain.features import FEATURE_DIM, featurize
+
+
+def test_no_compaction_always_skips():
+    env = CompactionEnv(EnvConfig(num_partitions=2), seed=0)
+    policy = NoCompactionPolicy()
+    assert policy.decide(env, 0) == ACTION_SKIP
+
+
+def test_default_interval():
+    env = CompactionEnv(EnvConfig(num_partitions=2), seed=0)
+    policy = DefaultCompactionPolicy(interval_steps=30)
+    env.step_index = 29
+    assert policy.decide(env, 0) == ACTION_SKIP
+    env.step_index = 30
+    assert policy.decide(env, 0) == ACTION_COMPACT
+    env.step_index = 0
+    assert policy.decide(env, 0) == ACTION_SKIP
+
+
+def test_default_interval_validation():
+    with pytest.raises(ValueError):
+        DefaultCompactionPolicy(0)
+
+
+def test_featurize_shape_and_range():
+    env = CompactionEnv(EnvConfig(num_partitions=3), seed=1)
+    env.ingest()
+    vector = featurize(env, 1)
+    assert vector.shape == (FEATURE_DIM,)
+    assert (vector >= 0).all()
+    assert (vector <= 1.5).all()
+
+
+def test_training_produces_runnable_policy():
+    config = EnvConfig(num_partitions=3, steps_per_episode=30)
+    policy, report = train_auto_compaction(
+        config, episodes=3, seed=0, restarts=1
+    )
+    assert isinstance(policy, AutoCompactionPolicy)
+    assert len(report.reward_curve) == 3
+    rollout = run_policy(policy, config, steps=20, seed=9)
+    assert rollout.steps == 20
+    assert 0 < rollout.mean_block_utilization <= 1.0
+
+
+def test_training_restart_validation():
+    with pytest.raises(ValueError):
+        train_auto_compaction(restarts=0)
+
+
+def test_run_policy_reports_conflicts():
+    config = EnvConfig(num_partitions=2, conflict_base=1.0)
+    report = run_policy(DefaultCompactionPolicy(1), config, steps=10, seed=0)
+    assert report.compactions_attempted > 0
+    # conflict probability is capped at 0.95, so expect mostly failures
+    assert report.compactions_failed >= report.compactions_attempted * 0.5
+
+
+def test_trained_policy_beats_never_compacting():
+    """The headline LakeBrain claim at small scale: RL beats no compaction."""
+    config = EnvConfig(num_partitions=4, steps_per_episode=60)
+    policy, _ = train_auto_compaction(config, episodes=8, seed=5, restarts=2)
+    auto = run_policy(policy, config, steps=60, seed=11)
+    none = run_policy(NoCompactionPolicy(), config, steps=60, seed=11)
+    assert auto.mean_block_utilization > none.mean_block_utilization
+    assert auto.total_query_cost < none.total_query_cost

@@ -1,0 +1,114 @@
+"""Unit tests for the CompactionService over real table objects."""
+
+import pytest
+
+from repro.common.units import MiB
+from repro.lakebrain.compaction import (
+    DefaultCompactionPolicy,
+    NoCompactionPolicy,
+    train_auto_compaction,
+)
+from repro.lakebrain.env import EnvConfig
+from repro.lakebrain.service import CompactionService
+from repro.table.schema import Column, ColumnType, PartitionSpec, Schema
+
+SCHEMA = Schema([
+    Column("city", ColumnType.STRING),
+    Column("value", ColumnType.INT64),
+])
+
+
+def small_batches(table, batches=6, rows_per_batch=5):
+    for batch in range(batches):
+        table.insert([
+            {"city": city, "value": batch * 100 + i}
+            for city in ("bj", "sh")
+            for i in range(rows_per_batch)
+        ])
+
+
+@pytest.fixture
+def table(lakehouse):
+    table = lakehouse.create_table("events", SCHEMA, PartitionSpec.by("city"))
+    small_batches(table)
+    return table
+
+
+def test_default_policy_compacts_on_interval(clock, table):
+    service = CompactionService(
+        clock, DefaultCompactionPolicy(interval_steps=2),
+        target_file_bytes=64 * MiB,
+    )
+    service.watch(table)
+    assert len(table.partitions()["city=bj"]) == 6
+    service.run_cycle()  # cycle 1: skip
+    assert len(table.partitions()["city=bj"]) == 6
+    stats = service.run_cycle()["events"]  # cycle 2: compact
+    assert stats.compactions == 2  # both partitions
+    assert len(table.partitions()["city=bj"]) == 1
+
+
+def test_no_policy_never_compacts(clock, table):
+    service = CompactionService(clock, NoCompactionPolicy())
+    service.watch(table)
+    for _ in range(5):
+        service.run_cycle()
+    assert len(table.partitions()["city=bj"]) == 6
+
+
+def test_compaction_preserves_rows(clock, table):
+    service = CompactionService(clock, DefaultCompactionPolicy(1))
+    service.watch(table)
+    before = sorted(r["value"] for r in table.select())
+    service.run_cycle()
+    after = sorted(r["value"] for r in table.select())
+    assert after == before
+
+
+def test_trained_policy_runs_on_real_tables(clock, table):
+    policy, _ = train_auto_compaction(
+        EnvConfig(num_partitions=3, steps_per_episode=30),
+        episodes=4, seed=1, restarts=1,
+    )
+    service = CompactionService(clock, policy, target_file_bytes=64 * MiB)
+    service.watch(table)
+    stats = service.run_cycle()["events"]
+    assert stats.cycles == 1
+    # whatever it decided, the table stays consistent
+    assert len(table.select()) == 60
+
+
+def test_utilization_improves_after_compaction(clock, table):
+    service = CompactionService(
+        clock, DefaultCompactionPolicy(1), block_size=4096,
+    )
+    service.watch(table)
+    before = service.table_utilization("events")
+    service.run_cycle()
+    after = service.table_utilization("events")
+    assert after >= before
+
+
+def test_single_file_partitions_skipped(clock, lakehouse):
+    table = lakehouse.create_table("one", SCHEMA, PartitionSpec.by("city"))
+    table.insert([{"city": "bj", "value": 1}])
+    service = CompactionService(clock, DefaultCompactionPolicy(1))
+    service.watch(table)
+    stats = service.run_cycle()["one"]
+    assert stats.compactions == 0
+
+
+def test_unwatch(clock, table):
+    service = CompactionService(clock, DefaultCompactionPolicy(1))
+    service.watch(table)
+    service.unwatch("events")
+    service.run_cycle()
+    assert len(table.partitions()["city=bj"]) == 6
+
+
+def test_note_access_feeds_features(clock, table):
+    service = CompactionService(clock, NoCompactionPolicy())
+    service.watch(table)
+    service.note_access("events", "city=bj")
+    tracker = service._trackers[("events", "city=bj")]
+    assert tracker.access_frequency > 0

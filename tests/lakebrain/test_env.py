@@ -1,0 +1,128 @@
+"""Unit and property tests for the compaction environment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import MiB
+from repro.lakebrain.compaction import binpack
+from repro.lakebrain.env import CompactionEnv, EnvConfig, block_utilization
+
+sizes = st.lists(
+    st.integers(min_value=1, max_value=64 * MiB), min_size=0, max_size=40
+)
+
+
+def test_block_utilization_formula():
+    # 3 MiB file in 4 MiB blocks: 3/4
+    assert block_utilization([3 * MiB], 4 * MiB) == pytest.approx(0.75)
+    # 5 MiB file needs 2 blocks: 5/8
+    assert block_utilization([5 * MiB], 4 * MiB) == pytest.approx(5 / 8)
+
+
+def test_block_utilization_empty_partition():
+    assert block_utilization([], 4 * MiB) == 1.0
+
+
+def test_block_utilization_perfect_fill():
+    assert block_utilization([4 * MiB, 8 * MiB], 4 * MiB) == 1.0
+
+
+@given(sizes)
+def test_block_utilization_bounds(file_sizes):
+    utilization = block_utilization(file_sizes, 4 * MiB)
+    assert 0.0 < utilization <= 1.0
+
+
+@given(sizes)
+def test_binpack_preserves_total_bytes(file_sizes):
+    merged = binpack(file_sizes, 64 * MiB)
+    assert sum(merged) == sum(file_sizes)
+
+
+@given(sizes)
+def test_binpack_respects_target(file_sizes):
+    target = 64 * MiB
+    merged = binpack(file_sizes, target)
+    oversize_inputs = [s for s in file_sizes if s >= target]
+    for size in merged:
+        assert size <= target or size in oversize_inputs
+
+
+@given(sizes)
+def test_binpack_never_increases_file_count(file_sizes):
+    assert len(binpack(file_sizes, 64 * MiB)) <= max(1, len(file_sizes)) \
+        or not file_sizes
+
+
+@given(sizes)
+def test_binpack_never_decreases_utilization(file_sizes):
+    block = 4 * MiB
+    before = block_utilization(file_sizes, block)
+    after = block_utilization(binpack(file_sizes, 64 * MiB), block)
+    assert after >= before - 1e-12
+
+
+def test_ingest_adds_files():
+    env = CompactionEnv(EnvConfig(num_partitions=4, ingestion_rate=5.0),
+                        seed=1)
+    before = sum(len(p.files) for p in env.partitions)
+    env.ingest()
+    after = sum(len(p.files) for p in env.partitions)
+    assert after >= before
+
+
+def test_compact_success_improves_utilization():
+    env = CompactionEnv(EnvConfig(num_partitions=2, conflict_base=0.0,
+                                  conflict_per_ingest=0.0), seed=2)
+    env.ingest()
+    before = env.partitions[0].utilization(env.config.block_size)
+    outcome = env.compact(0)
+    assert outcome.compacted
+    assert not outcome.conflict
+    assert outcome.utilization >= before
+    assert outcome.reward == pytest.approx(outcome.utilization - before)
+
+
+def test_compact_conflict_negative_reward():
+    env = CompactionEnv(EnvConfig(num_partitions=2, conflict_base=1.0),
+                        seed=3)
+    expected = env.expected_improvement(0)
+    outcome = env.compact(0)
+    assert outcome.conflict
+    assert not outcome.compacted
+    assert outcome.reward == pytest.approx(-(1.0 - expected))
+
+
+def test_skip_is_neutral():
+    env = CompactionEnv(EnvConfig(num_partitions=2), seed=4)
+    outcome = env.skip(0)
+    assert outcome.reward == 0.0
+    assert not outcome.compacted
+
+
+def test_queries_cost_more_with_more_files():
+    config = EnvConfig(num_partitions=2, query_rate=50.0, ingestion_rate=0.0)
+    sparse = CompactionEnv(config, seed=5)
+    dense = CompactionEnv(config, seed=5)
+    for partition in dense.partitions:
+        partition.files.extend([MiB] * 50)
+    sparse.serve_queries()
+    dense.serve_queries()
+    assert dense.total_query_cost > sparse.total_query_cost
+
+
+def test_reset_restores_state():
+    env = CompactionEnv(EnvConfig(num_partitions=3), seed=6)
+    env.ingest()
+    env.serve_queries()
+    env.step_index = 10
+    env.reset()
+    assert env.step_index == 0
+    assert env.total_query_cost == 0.0
+    assert len(env.partitions) == 3
+
+
+def test_expected_improvement_nonnegative():
+    env = CompactionEnv(EnvConfig(num_partitions=4), seed=7)
+    for index in range(4):
+        assert env.expected_improvement(index) >= 0.0

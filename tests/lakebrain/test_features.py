@@ -1,0 +1,73 @@
+"""Unit tests for compaction-state featurization."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MiB
+from repro.lakebrain.env import CompactionEnv, EnvConfig
+from repro.lakebrain.features import FEATURE_DIM, featurize
+
+
+@pytest.fixture
+def env():
+    return CompactionEnv(EnvConfig(num_partitions=3), seed=1)
+
+
+def test_vector_shape_and_dtype(env):
+    vector = featurize(env, 0)
+    assert vector.shape == (FEATURE_DIM,)
+    assert vector.dtype == np.float64
+
+
+def test_values_bounded(env):
+    for _ in range(5):
+        env.ingest()
+        env.serve_queries()
+    for index in range(3):
+        vector = featurize(env, index)
+        assert (vector >= 0).all()
+        assert (vector <= 1.5).all()
+
+
+def test_partition_features_differ_between_partitions(env):
+    env.partitions[0].files = [1 * MiB] * 40
+    env.partitions[1].files = [64 * MiB]
+    a = featurize(env, 0)
+    b = featurize(env, 1)
+    assert not np.allclose(a, b)
+    # partition 0 has far more files and lower utilization
+    assert a[5] > b[5]  # file-count feature
+    assert a[7] < b[7]  # block-utilization feature
+
+
+def test_global_features_shared(env):
+    a = featurize(env, 0)
+    b = featurize(env, 1)
+    assert np.allclose(a[:4], b[:4])  # global block is identical
+
+
+def test_ingestion_rate_reflected():
+    slow = CompactionEnv(EnvConfig(num_partitions=2, ingestion_rate=1.0),
+                         seed=2)
+    fast = CompactionEnv(EnvConfig(num_partitions=2, ingestion_rate=15.0),
+                         seed=2)
+    assert featurize(fast, 0)[1] > featurize(slow, 0)[1]
+
+
+def test_access_frequency_decays(env):
+    env.partitions[0].access_frequency = 1.0
+    hot = featurize(env, 0)[4]
+    for _ in range(30):
+        env.serve_queries()  # decay applies even without hits guaranteed
+    env.partitions[0].access_frequency *= 0.1
+    cool = featurize(env, 0)[4]
+    assert cool < hot
+
+
+def test_staleness_feature_grows(env):
+    env.partitions[0].steps_since_compaction = 0
+    fresh = featurize(env, 0)[9]
+    env.partitions[0].steps_since_compaction = 100
+    stale = featurize(env, 0)[9]
+    assert stale > fresh
+    assert stale == 1.0  # capped

@@ -1,0 +1,106 @@
+"""Unit tests for partitioning strategies and skipped-bytes metering."""
+
+import numpy as np
+
+from repro.lakebrain.partitioning import (
+    DayPartitioning,
+    FullScanPartitioning,
+    PredicateAwarePartitioning,
+    evaluate_partitioning,
+)
+from repro.table.expr import And, Predicate
+
+DAY = 86_400
+
+
+def make_rows(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "shipdate": 1000 * DAY + int(rng.integers(0, 100)) * DAY,
+            "quantity": int(rng.integers(1, 51)),
+        }
+        for _ in range(count)
+    ]
+
+
+def make_workload():
+    return [
+        And(
+            Predicate("shipdate", ">=", 1010 * DAY),
+            Predicate("shipdate", "<", 1020 * DAY),
+        ),
+        Predicate("quantity", "<", 10),
+    ]
+
+
+def test_full_scan_single_partition():
+    report = evaluate_partitioning(
+        FullScanPartitioning(), make_rows(500), make_workload()
+    )
+    assert report.num_partitions == 1
+    assert report.bytes_skipped == 0
+    assert report.skip_fraction == 0.0
+
+
+def test_day_partitioning_splits_by_day():
+    rows = make_rows(500)
+    report = evaluate_partitioning(
+        DayPartitioning("shipdate"), rows, make_workload()
+    )
+    expected_days = len({row["shipdate"] // DAY for row in rows})
+    assert report.num_partitions == expected_days
+
+
+def test_day_partitioning_skips_out_of_window_days():
+    report = evaluate_partitioning(
+        DayPartitioning("shipdate"), make_rows(2000), make_workload()
+    )
+    assert report.bytes_skipped > 0
+
+
+def test_day_partitioning_null_bucket():
+    strategy = DayPartitioning("shipdate")
+    assert strategy.partition_of({"shipdate": None}) == "__null__"
+
+
+def test_predicate_aware_beats_full_on_skipping():
+    rows = make_rows(3000)
+    workload = make_workload()
+    ours = PredicateAwarePartitioning.learn(
+        workload, rows[:400], ["shipdate", "quantity"], total_rows=len(rows),
+        min_partition_rows=300,
+    )
+    full = evaluate_partitioning(FullScanPartitioning(), rows, workload)
+    learned = evaluate_partitioning(ours, rows, workload)
+    assert learned.bytes_skipped > full.bytes_skipped
+    assert learned.num_partitions > 1
+
+
+def test_bytes_conservation():
+    """scanned + skipped == total x queries for every strategy."""
+    rows = make_rows(800)
+    workload = make_workload()
+    for strategy in (FullScanPartitioning(), DayPartitioning("shipdate")):
+        report = evaluate_partitioning(strategy, rows, workload,
+                                       row_size_bytes=100)
+        assert report.total_bytes == len(rows) * 100
+        assert (
+            report.bytes_scanned + report.bytes_skipped
+            == report.total_bytes * len(workload)
+        )
+
+
+def test_runtime_includes_partition_open_cost():
+    rows = make_rows(500)
+    workload = [Predicate("quantity", ">=", 1)]  # matches everything
+    one = evaluate_partitioning(FullScanPartitioning(), rows, workload)
+    many = evaluate_partitioning(DayPartitioning("shipdate"), rows, workload)
+    # same bytes scanned, but Day pays an open per partition
+    assert many.runtime_estimate_s > one.runtime_estimate_s
+
+
+def test_report_handles_empty_workload():
+    report = evaluate_partitioning(FullScanPartitioning(), make_rows(10), [])
+    assert report.queries == 0
+    assert report.skip_fraction == 0.0

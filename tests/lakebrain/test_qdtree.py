@@ -1,0 +1,134 @@
+"""Unit and property tests for the QD-tree partitioner.
+
+Core invariant: the leaves form a *partition* of the row space — every row
+routes to exactly one leaf — and query pruning is sound: the leaves
+reported by ``leaves_for_query`` include every leaf holding a matching row.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lakebrain.qdtree import QDTree
+from repro.lakebrain.spn import SPN
+from repro.table.expr import And, Predicate
+
+
+def make_rows(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        {"a": int(rng.integers(0, 100)), "b": float(rng.uniform(0, 10))}
+        for _ in range(count)
+    ]
+
+
+def make_workload():
+    return [
+        And(Predicate("a", ">=", 20), Predicate("a", "<", 40)),
+        And(Predicate("a", ">=", 60), Predicate("a", "<", 80)),
+        Predicate("b", "<", 3.0),
+        And(Predicate("a", "<", 50), Predicate("b", ">=", 7.0)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def built():
+    rows = make_rows(4000)
+    spn = SPN.learn(rows[:500], ["a", "b"], seed=1)
+    spn.row_count = len(rows)
+    tree = QDTree.build(make_workload(), spn, rows[:500],
+                        min_partition_rows=200)
+    return tree, rows
+
+
+def test_build_requires_samples():
+    spn = SPN.learn(make_rows(100), ["a", "b"])
+    with pytest.raises(ValueError):
+        QDTree.build(make_workload(), spn, [])
+
+
+def test_tree_has_multiple_leaves(built):
+    tree, _ = built
+    assert tree.num_leaves >= 2
+    assert tree.cuts_used
+
+
+def test_every_row_routes_to_exactly_one_leaf(built):
+    tree, rows = built
+    for row in rows:
+        leaf = tree.route(row)
+        assert 0 <= leaf < tree.num_leaves
+
+
+def test_routing_deterministic(built):
+    tree, rows = built
+    for row in rows[:50]:
+        assert tree.route(row) == tree.route(row)
+
+
+def test_pruning_soundness(built):
+    """leaves_for_query must cover every leaf containing a matching row."""
+    tree, rows = built
+    for query in make_workload():
+        allowed = tree.leaves_for_query(query)
+        for row in rows:
+            if query.matches(row):
+                assert tree.route(row) in allowed, (
+                    f"row {row} matches {query} but its leaf was pruned"
+                )
+
+
+def test_pruning_is_effective(built):
+    tree, _ = built
+    query = And(Predicate("a", ">=", 20), Predicate("a", "<", 40))
+    allowed = tree.leaves_for_query(query)
+    assert len(allowed) < tree.num_leaves  # something was actually pruned
+
+
+def test_min_partition_size_respected(built):
+    tree, rows = built
+    counts = {}
+    for row in rows:
+        leaf = tree.route(row)
+        counts[leaf] = counts.get(leaf, 0) + 1
+    # every populated leaf should be reasonably sized (min 200 scaled from
+    # a 500-row sample of 4000 rows -> ~25 sample rows -> allow slack)
+    assert min(counts.values()) > 20
+
+
+def test_depth_bounded():
+    rows = make_rows(2000, seed=5)
+    spn = SPN.learn(rows[:400], ["a", "b"], seed=2)
+    spn.row_count = len(rows)
+    tree = QDTree.build(make_workload(), spn, rows[:400],
+                        min_partition_rows=10, max_depth=3)
+    assert tree.depth() <= 3
+
+
+def test_no_useful_cuts_gives_single_leaf():
+    rows = make_rows(1000, seed=6)
+    spn = SPN.learn(rows[:200], ["a", "b"], seed=3)
+    spn.row_count = len(rows)
+    # workload on a column that doesn't exist: no candidate cut applies
+    workload = [Predicate("ghost", "<", 5)]
+    tree = QDTree.build(workload, spn, rows[:200], min_partition_rows=10)
+    assert tree.num_leaves == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_partition_cover_property(seed):
+    """For random data and the fixed workload, routing is total and the
+    pruned leaf set is sound."""
+    rows = make_rows(600, seed=seed)
+    spn = SPN.learn(rows[:150], ["a", "b"], seed=seed)
+    spn.row_count = len(rows)
+    tree = QDTree.build(make_workload(), spn, rows[:150],
+                        min_partition_rows=50)
+    query = make_workload()[0]
+    allowed = tree.leaves_for_query(query)
+    for row in rows:
+        leaf = tree.route(row)
+        assert 0 <= leaf < tree.num_leaves
+        if query.matches(row):
+            assert leaf in allowed

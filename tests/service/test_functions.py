@@ -1,0 +1,161 @@
+"""Unit tests for the serverless function engine."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.service.functions import DISPATCH_OVERHEAD_S, FunctionEngine
+
+
+@pytest.fixture
+def engine():
+    return FunctionEngine(SimClock(), initial_slots=2, max_slots=8)
+
+
+def test_slot_validation():
+    with pytest.raises(ValueError):
+        FunctionEngine(SimClock(), initial_slots=0)
+    with pytest.raises(ValueError):
+        FunctionEngine(SimClock(), initial_slots=4, max_slots=2)
+
+
+def test_register_and_invoke(engine):
+    calls = []
+    engine.register("job", lambda: calls.append(1) or len(calls))
+    invocation = engine.invoke("job")
+    assert calls == [1]
+    assert invocation.result == 1
+    assert not invocation.failed
+
+
+def test_duplicate_registration(engine):
+    engine.register("job", lambda: None)
+    with pytest.raises(ValueError):
+        engine.register("job", lambda: None)
+
+
+def test_invoke_unknown_raises(engine):
+    with pytest.raises(KeyError):
+        engine.invoke("ghost")
+
+
+def test_periodic_trigger(engine):
+    clock = engine._clock
+    runs = []
+    engine.register("cron", lambda: runs.append(clock.now), period_s=10.0)
+    engine.tick()           # due immediately (never ran)
+    engine.tick()           # not due again yet
+    clock.advance(10)
+    engine.tick()
+    assert len(runs) == 2
+
+
+def test_conditional_trigger(engine):
+    state = {"backlog": 0}
+    runs = []
+    engine.register(
+        "drain", lambda: runs.append(1),
+        condition=lambda: state["backlog"] > 5,
+    )
+    engine.tick()
+    assert runs == []
+    state["backlog"] = 10
+    engine.tick()
+    assert runs == [1]
+
+
+def test_period_and_condition_combined(engine):
+    clock = engine._clock
+    state = {"enabled": True}
+    runs = []
+    engine.register(
+        "guarded", lambda: runs.append(1),
+        period_s=10.0, condition=lambda: state["enabled"],
+    )
+    engine.tick()
+    assert len(runs) == 1
+    clock.advance(10)
+    state["enabled"] = False
+    engine.tick()
+    assert len(runs) == 1  # period due but condition blocks
+
+
+def test_manual_only_function_never_auto_runs(engine):
+    runs = []
+    engine.register("manual", lambda: runs.append(1))
+    engine.tick()
+    assert runs == []
+    engine.invoke("manual")
+    assert runs == [1]
+
+
+def test_failure_isolated(engine):
+    def boom():
+        raise RuntimeError("function crashed")
+
+    engine.register("bad", boom, period_s=1.0)
+    engine.register("good", lambda: "ok", period_s=1.0)
+    invocations = engine.tick()
+    assert len(invocations) == 2
+    by_name = {inv.name: inv for inv in invocations}
+    assert by_name["bad"].failed
+    assert "RuntimeError" in by_name["bad"].error
+    assert by_name["good"].result == "ok"
+
+
+def test_numeric_result_counts_as_sim_cost(engine):
+    engine.register("costly", lambda: 0.5)
+    invocation = engine.invoke("costly")
+    assert invocation.sim_seconds == pytest.approx(0.5 + DISPATCH_OVERHEAD_S)
+
+
+def test_elastic_scaling(engine):
+    for index in range(6):
+        engine.register(f"f{index}", lambda: None, period_s=1.0)
+    assert engine.slots == 2
+    engine.tick()  # 6 due > 2 slots: scale out
+    assert engine.slots == 6
+    assert engine.scale_events == 1
+    engine._clock.advance(0.1)  # nothing due now
+    engine.tick()
+    assert engine.slots == 5  # shrinks back when idle
+
+
+def test_run_for_drives_periodic_jobs(engine):
+    runs = []
+    engine.register("heartbeat", lambda: runs.append(1), period_s=5.0)
+    engine.run_for(duration_s=20.0, tick_every_s=1.0)
+    assert 4 <= len(runs) <= 5
+
+
+def test_run_for_validation(engine):
+    with pytest.raises(ValueError):
+        engine.run_for(1.0, 0.0)
+
+
+def test_unregister(engine):
+    engine.register("gone", lambda: None, period_s=1.0)
+    engine.unregister("gone")
+    assert engine.tick() == []
+    with pytest.raises(KeyError):
+        engine.unregister("gone")
+
+
+def test_background_services_integration():
+    """The paper's use: StreamLake background work rides the engine."""
+    from repro import build_streamlake
+    from repro.stream.config import TopicConfig
+
+    lake = build_streamlake()
+    engine = FunctionEngine(lake.clock)
+    lake.streaming.create_topic("t", TopicConfig(stream_num=1))
+    engine.register(
+        "tiering", lake.tiering.run_migration_cycle, period_s=60.0
+    )
+    engine.register(
+        "archive", lambda: lake.streaming.run_archive_cycle("t"),
+        period_s=60.0,
+    )
+    invocations = engine.run_for(duration_s=180.0, tick_every_s=30.0)
+    names = {inv.name for inv in invocations}
+    assert names == {"tiering", "archive"}
+    assert all(not inv.failed for inv in invocations)

@@ -1,0 +1,105 @@
+"""Unit tests for the data bus: transports, aggregation, priorities."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.units import KiB, MiB
+from repro.storage.bus import (
+    AGGREGATION_TARGET,
+    DataBus,
+    RDMA_PROFILE,
+    SMALL_IO_THRESHOLD,
+    TCP_PROFILE,
+    TransportKind,
+)
+
+
+def test_rdma_cheaper_than_tcp():
+    size = 64 * KiB
+    assert RDMA_PROFILE.cost(size) < TCP_PROFILE.cost(size)
+    assert RDMA_PROFILE.cost(size, messages=100) < TCP_PROFILE.cost(
+        size, messages=100
+    )
+
+
+def test_large_transfer_immediate():
+    bus = DataBus(SimClock())
+    cost = bus.transfer(1 * MiB)
+    assert cost > 0
+    assert bus.transfers == 1
+
+
+def test_urgent_small_transfer_bypasses_aggregation():
+    bus = DataBus(SimClock())
+    cost = bus.transfer(1 * KiB, urgent=True)
+    assert cost > 0
+    assert bus.transfers == 1
+
+
+def test_small_io_buffered_until_target():
+    bus = DataBus(SimClock())
+    per_piece = 32 * KiB
+    pieces = AGGREGATION_TARGET // per_piece
+    for _ in range(pieces - 1):
+        assert bus.transfer(per_piece) == 0.0
+    final = bus.transfer(per_piece)
+    assert final > 0
+    assert bus.aggregated_batches == 1
+
+
+def test_aggregation_cheaper_than_individual():
+    aggregated = DataBus(SimClock(), aggregate_small_io=True)
+    individual = DataBus(SimClock(), aggregate_small_io=False)
+    total_aggregated = 0.0
+    total_individual = 0.0
+    for _ in range(64):
+        total_aggregated += aggregated.transfer(16 * KiB)
+        total_individual += individual.transfer(16 * KiB)
+    total_aggregated += aggregated.flush_small_io()
+    assert total_aggregated < total_individual
+
+
+def test_flush_empty_is_free():
+    bus = DataBus(SimClock())
+    assert bus.flush_small_io() == 0.0
+
+
+def test_negative_size_raises():
+    bus = DataBus(SimClock())
+    with pytest.raises(ValueError):
+        bus.transfer(-1)
+
+
+def test_bytes_moved_counts_buffered():
+    bus = DataBus(SimClock())
+    bus.transfer(10 * KiB)
+    assert bus.bytes_moved == 10 * KiB
+
+
+def test_tcp_transport_selectable():
+    bus = DataBus(SimClock(), transport=TransportKind.TCP)
+    assert bus.profile is TCP_PROFILE
+
+
+def test_priority_queue_orders_by_priority():
+    bus = DataBus(SimClock())
+    bus.submit(1 * MiB, priority=10, description="background")
+    bus.submit(1 * MiB, priority=0, description="foreground")
+    completions = bus.drain_queue()
+    assert [name for name, _ in completions] == ["foreground", "background"]
+    # foreground finishes strictly before background
+    assert completions[0][1] < completions[1][1]
+
+
+def test_priority_ties_fifo():
+    bus = DataBus(SimClock())
+    bus.submit(1024, priority=5, description="first")
+    bus.submit(1024, priority=5, description="second")
+    names = [name for name, _ in bus.drain_queue()]
+    assert names == ["first", "second"]
+
+
+def test_threshold_boundary():
+    bus = DataBus(SimClock())
+    cost = bus.transfer(SMALL_IO_THRESHOLD)  # exactly at threshold: immediate
+    assert cost > 0

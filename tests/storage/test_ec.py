@@ -1,0 +1,154 @@
+"""Unit and property tests for GF(2^8) arithmetic and Reed-Solomon."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnrecoverableDataError
+from repro.storage.ec import ReedSolomon, gf_inv, gf_mul, gf_pow
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+# --- field axioms ----------------------------------------------------------
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(elements)
+def test_mul_identity(a):
+    assert gf_mul(a, 1) == a
+
+
+@given(elements)
+def test_mul_zero(a):
+    assert gf_mul(a, 0) == 0
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+def test_inv_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    # addition in GF(2^8) is XOR
+    assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+@given(nonzero, st.integers(min_value=0, max_value=10))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    for _ in range(n):
+        expected = gf_mul(expected, a)
+    assert gf_pow(a, n) == expected
+
+
+# --- codec construction -----------------------------------------------------
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ReedSolomon(0, 2)
+    with pytest.raises(ValueError):
+        ReedSolomon(200, 60)
+
+
+def test_storage_overhead():
+    assert ReedSolomon(4, 2).storage_overhead == 1.5
+    assert ReedSolomon(8, 1).storage_overhead == 1.125
+
+
+def test_shard_count_and_systematic_prefix():
+    codec = ReedSolomon(4, 2)
+    data = bytes(range(200))
+    shards = codec.encode(data)
+    assert len(shards) == 6
+    # systematic: concatenated data shards start with the original payload
+    assert b"".join(shards[:4])[: len(data)] == data
+
+
+# --- decode under erasures ----------------------------------------------------
+
+def test_decode_intact():
+    codec = ReedSolomon(4, 2)
+    data = b"streamlake" * 50
+    shards = codec.encode(data)
+    assert codec.decode(list(shards), len(data)) == data
+
+
+def test_decode_with_max_erasures():
+    codec = ReedSolomon(4, 2)
+    data = b"abcdefgh" * 33
+    shards = list(codec.encode(data))
+    shards[1] = None
+    shards[4] = None
+    assert codec.decode(shards, len(data)) == data
+
+
+def test_decode_too_many_erasures_raises():
+    codec = ReedSolomon(4, 2)
+    shards = list(codec.encode(b"x" * 64))
+    shards[0] = shards[1] = shards[2] = None
+    with pytest.raises(UnrecoverableDataError):
+        codec.decode(shards, 64)
+
+
+def test_decode_wrong_slot_count_raises():
+    codec = ReedSolomon(4, 2)
+    with pytest.raises(ValueError):
+        codec.decode([b"x"] * 5, 4)
+
+
+def test_reconstruct_data_shard():
+    codec = ReedSolomon(5, 3)
+    data = bytes(range(256)) * 3
+    shards = list(codec.encode(data))
+    lost = shards[2]
+    shards[2] = None
+    assert codec.reconstruct_shard(shards, 2, len(data)) == lost
+
+
+def test_reconstruct_parity_shard():
+    codec = ReedSolomon(3, 2)
+    data = b"parity-please" * 9
+    shards = list(codec.encode(data))
+    lost = shards[4]
+    shards[4] = None
+    assert codec.reconstruct_shard(shards, 4, len(data)) == lost
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=2000),
+    k=st.integers(min_value=1, max_value=8),
+    m=st.integers(min_value=0, max_value=4),
+    erase_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_roundtrip_under_arbitrary_erasures(data, k, m, erase_seed):
+    """Any m erasures of an RS(k+m) codeword decode to the original."""
+    import random
+
+    codec = ReedSolomon(k, m)
+    shards = list(codec.encode(data))
+    rng = random.Random(erase_seed)
+    for index in rng.sample(range(k + m), m):
+        shards[index] = None
+    assert codec.decode(shards, len(data)) == data
+
+
+def test_empty_parity_configuration():
+    codec = ReedSolomon(4, 0)
+    data = b"no-parity" * 10
+    assert codec.decode(list(codec.encode(data)), len(data)) == data

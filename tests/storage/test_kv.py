@@ -1,0 +1,124 @@
+"""Unit and property tests for the distributed KV engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.clock import SimClock
+from repro.storage.kv import KVEngine
+
+keys = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12,
+)
+
+
+@pytest.fixture
+def kv():
+    return KVEngine("kv", SimClock())
+
+
+def test_put_get(kv):
+    kv.put("a", 1)
+    assert kv.get("a") == 1
+
+
+def test_get_missing_default(kv):
+    assert kv.get("missing") is None
+    assert kv.get("missing", "fallback") == "fallback"
+
+
+def test_overwrite(kv):
+    kv.put("a", 1)
+    kv.put("a", 2)
+    assert kv.get("a") == 2
+    assert len(kv) == 1
+
+
+def test_delete(kv):
+    kv.put("a", 1)
+    assert kv.delete("a") is True
+    assert kv.get("a") is None
+    assert kv.delete("a") is False
+
+
+def test_contains(kv):
+    kv.put("a", 1)
+    assert "a" in kv
+    assert "b" not in kv
+
+
+def test_scan_prefix_ordered(kv):
+    for key in ("t/2", "t/1", "u/1", "t/3"):
+        kv.put(key, key)
+    assert [k for k, _ in kv.scan("t/")] == ["t/1", "t/2", "t/3"]
+
+
+def test_scan_empty_prefix_returns_all(kv):
+    kv.put("b", 2)
+    kv.put("a", 1)
+    assert [k for k, _ in kv.scan("")] == ["a", "b"]
+
+
+def test_scan_range(kv):
+    for key in ("a", "b", "c", "d"):
+        kv.put(key, key)
+    assert [k for k, _ in kv.scan_range("b", "d")] == ["b", "c"]
+
+
+def test_clear_prefix(kv):
+    for key in ("p/1", "p/2", "q/1"):
+        kv.put(key, key)
+    assert kv.clear_prefix("p/") == 2
+    assert kv.keys() == ["q/1"]
+
+
+def test_costs_charged(kv):
+    clock = kv._clock
+    kv.put("a", 1)
+    kv.get("a")
+    assert clock.busy_time("kv") > 0
+    assert kv.reads == 1
+    assert kv.writes == 1
+
+
+def test_point_lookup_cost_constant(kv):
+    """The core property behind Fig 15(a): lookup cost is size-independent."""
+    clock = kv._clock
+    kv.put("probe", 0)
+    kv.get("probe")
+    small_cost = clock.busy_time("kv")
+    for index in range(5000):
+        kv.put(f"filler/{index}", index)
+    before = clock.busy_time("kv")
+    kv.get("probe")
+    assert clock.busy_time("kv") - before == pytest.approx(
+        small_cost - kv._write_cost, rel=0.5
+    )
+
+
+@given(st.dictionaries(keys, st.integers(), max_size=50))
+def test_model_based_contents(mapping):
+    kv = KVEngine("m", SimClock())
+    for key, value in mapping.items():
+        kv.put(key, value)
+    assert len(kv) == len(mapping)
+    assert kv.keys() == sorted(mapping)
+    for key, value in mapping.items():
+        assert kv.get(key) == value
+
+
+@given(st.lists(st.tuples(keys, st.booleans()), max_size=60))
+def test_model_based_put_delete_sequence(operations):
+    """Interleaved puts/deletes match a dict model."""
+    kv = KVEngine("m", SimClock())
+    model: dict[str, int] = {}
+    for index, (key, is_delete) in enumerate(operations):
+        if is_delete:
+            assert kv.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            kv.put(key, index)
+            model[key] = index
+    assert kv.keys() == sorted(model)
+    for key, value in model.items():
+        assert kv.get(key) == value

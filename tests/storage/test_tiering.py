@@ -1,0 +1,101 @@
+"""Unit tests for the SSD<->HDD tiering service."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.storage.bus import DataBus
+from repro.storage.disk import HDD_PROFILE, NVME_SSD_PROFILE
+from repro.storage.pool import StoragePool
+from repro.storage.replication import Replication
+from repro.storage.tiering import TieringPolicy, TieringService
+
+
+@pytest.fixture
+def tiering():
+    clock = SimClock()
+    hot = StoragePool("ssd", clock, policy=Replication(2))
+    hot.add_disks(NVME_SSD_PROFILE, 2)
+    cold = StoragePool("hdd", clock, policy=Replication(2))
+    cold.add_disks(HDD_PROFILE, 2)
+    policy = TieringPolicy(
+        demote_after_s=100.0, promote_hits=2, promote_window_s=50.0
+    )
+    return TieringService(hot, cold, DataBus(clock), clock, policy), clock
+
+
+def test_new_data_lands_hot(tiering):
+    service, _ = tiering
+    service.store("x", b"fresh")
+    assert service.tier_of("x") == "hot"
+
+
+def test_fetch_from_either_tier(tiering):
+    service, clock = tiering
+    service.store("x", b"data")
+    assert service.fetch("x")[0] == b"data"
+    clock.advance(200)
+    service.run_migration_cycle()
+    assert service.tier_of("x") == "cold"
+    assert service.fetch("x")[0] == b"data"
+
+
+def test_cold_data_demotes_after_idle(tiering):
+    service, clock = tiering
+    service.store("idle", b"z")
+    clock.advance(150)
+    demoted, promoted = service.run_migration_cycle()
+    assert demoted == 1
+    assert promoted == 0
+    assert service.tier_of("idle") == "cold"
+
+
+def test_recently_accessed_stays_hot(tiering):
+    service, clock = tiering
+    service.store("busy", b"z")
+    clock.advance(90)
+    service.fetch("busy")
+    clock.advance(90)  # 180 since store but only 90 since last access
+    demoted, _ = service.run_migration_cycle()
+    assert demoted == 0
+    assert service.tier_of("busy") == "hot"
+
+
+def test_hot_again_promotes(tiering):
+    service, clock = tiering
+    service.store("comeback", b"z")
+    clock.advance(150)
+    service.run_migration_cycle()
+    assert service.tier_of("comeback") == "cold"
+    service.fetch("comeback")
+    clock.advance(1)
+    service.fetch("comeback")
+    _, promoted = service.run_migration_cycle()
+    assert promoted == 1
+    assert service.tier_of("comeback") == "hot"
+
+
+def test_delete_from_any_tier(tiering):
+    service, clock = tiering
+    service.store("gone", b"z")
+    service.delete("gone")
+    with pytest.raises(KeyError):
+        service.tier_of("gone")
+
+
+def test_migration_uses_background_priority(tiering):
+    service, clock = tiering
+    service.store("bg", b"z" * 1000)
+    clock.advance(150)
+    service.run_migration_cycle()
+    # the move was queued at background priority, behind foreground work
+    service.bus.submit(10, priority=0, description="fg")
+    completions = service.bus.drain_queue()
+    assert completions[0][0] == "fg"
+
+
+def test_counters(tiering):
+    service, clock = tiering
+    service.store("a", b"1")
+    clock.advance(150)
+    service.run_migration_cycle()
+    assert service.demotions == 1

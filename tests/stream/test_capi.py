@@ -1,0 +1,139 @@
+"""Unit tests for the Fig 3 C-style stream-object API."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.plog import PLogManager
+from repro.storage.pool import StoragePool
+from repro.storage.replication import Replication
+from repro.stream.capi import (
+    CreateOptions,
+    IOContent,
+    ReadCtrl,
+    StatusCode,
+    StreamObjectAPI,
+)
+from repro.stream.object import StreamObjectStore
+
+
+@pytest.fixture
+def api():
+    clock = SimClock()
+    pool = StoragePool("p", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    store = StreamObjectStore(PLogManager(pool, clock), clock)
+    return StreamObjectAPI(store)
+
+
+def test_create_returns_ok_and_object_id(api):
+    object_id_out = [""]
+    status = api.create_server_stream_object(CreateOptions(), object_id_out)
+    assert status == StatusCode.OK
+    assert object_id_out[0].startswith("sobj-")
+
+
+def test_create_rejects_bad_redundancy(api):
+    status = api.create_server_stream_object(
+        CreateOptions(redundancy="raid0"), [""]
+    )
+    assert status == StatusCode.ERROR_INVALID_ARGUMENT
+
+
+def test_create_duplicate_id(api):
+    assert api.create_server_stream_object(
+        CreateOptions(object_id="fixed"), [""]
+    ) == StatusCode.OK
+    assert api.create_server_stream_object(
+        CreateOptions(object_id="fixed"), [""]
+    ) == StatusCode.ERROR_INVALID_ARGUMENT
+
+
+def test_append_and_read_roundtrip(api):
+    object_id_out = [""]
+    api.create_server_stream_object(CreateOptions(), object_id_out)
+    object_id = object_id_out[0]
+
+    io = IOContent()
+    io.put("t", "k1", b"Hello world")
+    io.put("t", "k2", b"Second")
+    offset_out = [0]
+    assert api.append_server_stream_object(
+        object_id, io, offset_out
+    ) == StatusCode.OK
+    assert offset_out[0] == 0
+    assert io.records == []  # drained into the object
+
+    read_io = IOContent()
+    assert api.read_server_stream_object(
+        object_id, 0, ReadCtrl(), read_io
+    ) == StatusCode.OK
+    assert [r.value for r in read_io.records] == [b"Hello world", b"Second"]
+    assert read_io.bytes_transferred > 0
+
+
+def test_append_empty_buffer_rejected(api):
+    out = [""]
+    api.create_server_stream_object(CreateOptions(), out)
+    assert api.append_server_stream_object(
+        out[0], IOContent(), [0]
+    ) == StatusCode.ERROR_INVALID_ARGUMENT
+
+
+def test_read_respects_ctrl_limits(api):
+    out = [""]
+    api.create_server_stream_object(CreateOptions(), out)
+    io = IOContent()
+    for index in range(20):
+        io.put("t", str(index), b"x")
+    api.append_server_stream_object(out[0], io, [0])
+    read_io = IOContent()
+    api.read_server_stream_object(
+        out[0], 0, ReadCtrl(max_records=5), read_io
+    )
+    assert len(read_io.records) == 5
+
+
+def test_unknown_object_not_found(api):
+    assert api.destroy_server_stream_object("ghost") == (
+        StatusCode.ERROR_NOT_FOUND
+    )
+    assert api.read_server_stream_object(
+        "ghost", 0, ReadCtrl(), IOContent()
+    ) == StatusCode.ERROR_NOT_FOUND
+    io = IOContent()
+    io.put("t", "k", b"v")
+    assert api.append_server_stream_object("ghost", io, [0]) == (
+        StatusCode.ERROR_NOT_FOUND
+    )
+
+
+def test_invalid_offset_code(api):
+    out = [""]
+    api.create_server_stream_object(CreateOptions(), out)
+    assert api.read_server_stream_object(
+        out[0], 99, ReadCtrl(), IOContent()
+    ) == StatusCode.ERROR_INVALID_OFFSET
+
+
+def test_destroy_then_read_not_found(api):
+    out = [""]
+    api.create_server_stream_object(CreateOptions(), out)
+    assert api.destroy_server_stream_object(out[0]) == StatusCode.OK
+    assert api.read_server_stream_object(
+        out[0], 0, ReadCtrl(), IOContent()
+    ) == StatusCode.ERROR_NOT_FOUND
+
+
+def test_offsets_continue_across_appends(api):
+    out = [""]
+    api.create_server_stream_object(CreateOptions(), out)
+    first = IOContent()
+    first.put("t", "a", b"1")
+    second = IOContent()
+    second.put("t", "b", b"2")
+    offset_out = [0]
+    api.append_server_stream_object(out[0], first, offset_out)
+    assert offset_out[0] == 0
+    api.append_server_stream_object(out[0], second, offset_out)
+    assert offset_out[0] == 1

@@ -1,0 +1,104 @@
+"""Unit tests for topic configuration (Fig 8)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stream.config import ArchiveConfig, ConvertToTableConfig, TopicConfig
+
+
+def test_defaults_match_paper_example():
+    config = TopicConfig()
+    assert config.stream_num == 3
+    assert config.quota_msgs_per_s == 1_000_000
+    assert config.convert_2_table.split_offset == 10_000_000
+    assert config.convert_2_table.split_time_s == 36_000.0
+    assert config.archive.archive_size_mb == 262_144
+
+
+def test_validate_accepts_defaults():
+    TopicConfig().validate()
+
+
+def test_stream_num_must_be_positive():
+    with pytest.raises(ConfigError):
+        TopicConfig(stream_num=0).validate()
+
+
+def test_quota_must_be_positive():
+    with pytest.raises(ConfigError):
+        TopicConfig(quota_msgs_per_s=0).validate()
+
+
+def test_conversion_requires_schema_when_enabled():
+    config = TopicConfig(
+        convert_2_table=ConvertToTableConfig(enabled=True, table_path="p")
+    )
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_conversion_requires_path_when_enabled():
+    config = TopicConfig(
+        convert_2_table=ConvertToTableConfig(
+            enabled=True, table_schema={"a": "int64"}
+        )
+    )
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_conversion_triggers_must_be_positive():
+    config = TopicConfig(
+        convert_2_table=ConvertToTableConfig(
+            enabled=True, table_schema={"a": "int64"}, table_path="p",
+            split_offset=0,
+        )
+    )
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_disabled_conversion_skips_validation():
+    TopicConfig(
+        convert_2_table=ConvertToTableConfig(enabled=False)
+    ).validate()
+
+
+def test_archive_size_must_be_positive():
+    config = TopicConfig(archive=ArchiveConfig(enabled=True, archive_size_mb=0))
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_from_dict_parses_fig8_shape():
+    raw = {
+        "stream_num": 3,
+        "quota": 10**6,
+        "scm_cache": True,
+        "convert_2_table": {
+            "table_schema": {"url": "string"},
+            "table_path": "tables/x",
+            "split_offset": 10**7,
+            "split_time": 36000,
+            "delete_msg": False,
+            "enabled": True,
+        },
+        "archive": {
+            "external_archive_url": None,
+            "archive_size": 262144,
+            "row_2_col": True,
+            "enabled": True,
+        },
+    }
+    config = TopicConfig.from_dict(raw)
+    assert config.scm_cache is True
+    assert config.convert_2_table.enabled
+    assert config.convert_2_table.table_path == "tables/x"
+    assert config.archive.row_2_col is True
+
+
+def test_from_dict_defaults_for_missing_blocks():
+    config = TopicConfig.from_dict({"stream_num": 5})
+    assert config.stream_num == 5
+    assert not config.convert_2_table.enabled
+    assert not config.archive.enabled

@@ -1,0 +1,89 @@
+"""Edge-case tests for the plain (non-group) consumer."""
+
+import pytest
+
+from repro.errors import InvalidOffsetError
+from repro.stream.config import TopicConfig
+from repro.stream.consumer import Consumer
+from repro.stream.producer import Producer
+
+
+@pytest.fixture
+def topic(service):
+    service.create_topic("t", TopicConfig(stream_num=2))
+    return "t"
+
+
+def test_poll_before_subscribe_is_empty(service, topic):
+    consumer = Consumer(service)
+    assert consumer.poll() == ([], 0.0)
+
+
+def test_double_subscribe_keeps_position(service, topic):
+    producer = Producer(service, batch_size=1)
+    producer.send(topic, b"one", key="k")
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    consumer.drain()
+    consumer.subscribe(topic)  # re-subscribing must not rewind
+    assert consumer.drain()[0] == []
+
+
+def test_seek_past_end_raises_on_poll(service, topic):
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    stream_id = service.dispatcher.streams_of(topic)[0]
+    consumer.seek(stream_id, 999)
+    with pytest.raises(InvalidOffsetError):
+        consumer.poll()
+
+
+def test_poll_max_records_cap(service, topic):
+    producer = Producer(service, batch_size=10)
+    for index in range(50):
+        producer.send(topic, b"x", key=str(index))
+    producer.flush()
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    first, _ = consumer.poll(max_records=10)
+    assert len(first) <= 20  # cap applies per-stream read
+    rest, _ = consumer.drain()
+    assert len(first) + len(rest) == 50
+
+
+def test_two_consumers_fan_out(service, topic):
+    producer = Producer(service, batch_size=1)
+    for index in range(8):
+        producer.send(topic, str(index).encode(), key=str(index))
+    alpha = Consumer(service)
+    beta = Consumer(service)
+    alpha.subscribe(topic)
+    beta.subscribe(topic)
+    assert len(alpha.drain()[0]) == 8
+    assert len(beta.drain()[0]) == 8  # independent cursors
+
+
+def test_position_tracking(service, topic):
+    producer = Producer(service, batch_size=1)
+    producer.send(topic, b"v", key="k")
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    stream_id = service.dispatcher.route_key(topic, "k")
+    assert consumer.position(stream_id) == 0
+    consumer.drain()
+    assert consumer.position(stream_id) == 1
+
+
+def test_subscribe_after_trim_starts_at_trim_offset(service, topic):
+    from repro.stream.records import RECORDS_PER_SLICE, MessageRecord
+
+    stream_id = service.dispatcher.streams_of(topic)[0]
+    obj = service.object_for(stream_id)
+    obj.append([MessageRecord("t", "k", b"x")
+                for _ in range(RECORDS_PER_SLICE * 2)])
+    obj.trim(RECORDS_PER_SLICE)
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    records, _ = consumer.drain()
+    assert all(r.offset >= RECORDS_PER_SLICE for r in records)
+    assert len(records) == RECORDS_PER_SLICE

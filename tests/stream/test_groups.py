@@ -1,0 +1,132 @@
+"""Unit tests for consumer groups."""
+
+import pytest
+
+from repro.errors import TopicNotFoundError
+from repro.stream.config import TopicConfig
+from repro.stream.groups import GroupConsumer, GroupCoordinator
+from repro.stream.producer import Producer
+
+
+@pytest.fixture
+def coordinator(service):
+    service.create_topic("t", TopicConfig(stream_num=6))
+    return GroupCoordinator(service)
+
+
+def publish(service, count):
+    producer = Producer(service, batch_size=1)
+    for index in range(count):
+        producer.send("t", str(index).encode(), key=str(index))
+
+
+def test_single_member_gets_everything(service, coordinator):
+    publish(service, 30)
+    consumer = GroupConsumer(coordinator, "g")
+    assigned = consumer.subscribe(["t"])
+    assert len(assigned) == 6
+    records, _ = consumer.poll(1000)
+    assert len(records) == 30
+
+
+def test_partitions_split_across_members(service, coordinator):
+    alpha = GroupConsumer(coordinator, "g", member_id="alpha")
+    beta = GroupConsumer(coordinator, "g", member_id="beta")
+    alpha.subscribe(["t"])
+    beta.subscribe(["t"])
+    assert len(alpha.assignment) == 3
+    assert len(beta.assignment) == 3
+    assert not set(alpha.assignment) & set(beta.assignment)
+
+
+def test_group_consumes_each_record_once(service, coordinator):
+    publish(service, 60)
+    members = [
+        GroupConsumer(coordinator, "g", member_id=f"m{i}") for i in range(3)
+    ]
+    for member in members:
+        member.subscribe(["t"])
+    seen = []
+    for member in members:
+        records, _ = member.poll(1000)
+        seen.extend(r.value for r in records)
+    assert len(seen) == 60
+    assert len(set(seen)) == 60  # no duplicates across members
+
+
+def test_rebalance_on_leave(service, coordinator):
+    publish(service, 12)
+    alpha = GroupConsumer(coordinator, "g", member_id="alpha")
+    beta = GroupConsumer(coordinator, "g", member_id="beta")
+    alpha.subscribe(["t"])
+    beta.subscribe(["t"])
+    alpha.poll(1000)
+    alpha.close()  # commits, then leaves
+    assert len(beta.assignment) == 6  # beta inherited everything
+    publish(service, 12)
+    records, _ = beta.poll(1000)
+    assert records  # beta serves the whole topic now
+
+
+def test_committed_offsets_survive_member_churn(service, coordinator):
+    publish(service, 20)
+    first = GroupConsumer(coordinator, "g", member_id="first")
+    first.subscribe(["t"])
+    records, _ = first.poll(1000)
+    assert len(records) == 20
+    first.close()
+    # a brand-new member resumes from the committed offsets: no replays
+    second = GroupConsumer(coordinator, "g", member_id="second")
+    second.subscribe(["t"])
+    records, _ = second.poll(1000)
+    assert records == []
+    publish(service, 5)
+    records, _ = second.poll(1000)
+    assert len(records) == 5
+
+
+def test_uncommitted_progress_is_replayed(service, coordinator):
+    """At-least-once: positions not committed before a crash replay."""
+    publish(service, 10)
+    crasher = GroupConsumer(coordinator, "g", member_id="crasher")
+    crasher.subscribe(["t"])
+    crasher.poll(1000)  # consumed but never committed
+    coordinator.leave("g", "crasher")  # simulated crash (no commit)
+    survivor = GroupConsumer(coordinator, "g", member_id="survivor")
+    survivor.subscribe(["t"])
+    records, _ = survivor.poll(1000)
+    assert len(records) == 10  # replayed
+
+
+def test_generation_bumps_on_rebalance(service, coordinator):
+    consumer = GroupConsumer(coordinator, "g")
+    consumer.subscribe(["t"])
+    generation = coordinator.generation("g")
+    other = GroupConsumer(coordinator, "g")
+    other.subscribe(["t"])
+    assert coordinator.generation("g") == generation + 1
+
+
+def test_independent_groups_see_all_data(service, coordinator):
+    publish(service, 15)
+    analytics = GroupConsumer(coordinator, "analytics")
+    alerting = GroupConsumer(coordinator, "alerting")
+    analytics.subscribe(["t"])
+    alerting.subscribe(["t"])
+    a_records, _ = analytics.poll(1000)
+    b_records, _ = alerting.poll(1000)
+    assert len(a_records) == 15
+    assert len(b_records) == 15  # fan-out across groups
+
+
+def test_subscribe_unknown_topic_raises(service, coordinator):
+    consumer = GroupConsumer(coordinator, "g")
+    with pytest.raises(TopicNotFoundError):
+        consumer.subscribe(["ghost"])
+
+
+def test_multi_topic_subscription(service, coordinator):
+    service.create_topic("u", TopicConfig(stream_num=2))
+    consumer = GroupConsumer(coordinator, "g")
+    assigned = consumer.subscribe(["t", "u"])
+    assert len(assigned) == 8  # 6 + 2 streams

@@ -1,0 +1,266 @@
+"""Unit and property tests for the stream object.
+
+Covers the Section V-A delivery guarantees: strict ordering, idempotent
+writes, transactional visibility — plus slice sealing, trimming and the
+create/destroy registry.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.errors import InvalidOffsetError, ObjectNotFoundError
+from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.plog import PLogManager
+from repro.storage.pool import StoragePool
+from repro.storage.replication import Replication
+from repro.stream.object import ReadControl, StreamObject, StreamObjectStore
+from repro.stream.records import RECORDS_PER_SLICE, MessageRecord
+
+
+def make_object(object_id="obj"):
+    clock = SimClock()
+    pool = StoragePool("p", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    plogs = PLogManager(pool, clock)
+    return StreamObject(object_id, plogs, clock)
+
+
+def msg(value: bytes, producer="", sequence=-1, txn=None):
+    return MessageRecord(
+        topic="t", key="k", value=value,
+        producer_id=producer, sequence=sequence, txn_id=txn,
+    )
+
+
+def test_append_assigns_monotonic_offsets():
+    obj = make_object()
+    offset, _ = obj.append([msg(b"a"), msg(b"b")])
+    assert offset == 0
+    offset, _ = obj.append([msg(b"c")])
+    assert offset == 2
+    assert obj.end_offset == 3
+
+
+def test_append_empty_raises():
+    with pytest.raises(ValueError):
+        make_object().append([])
+
+
+def test_read_returns_in_order():
+    obj = make_object()
+    obj.append([msg(bytes([i])) for i in range(10)])
+    records, _ = obj.read(0)
+    assert [r.value for r in records] == [bytes([i]) for i in range(10)]
+    assert [r.offset for r in records] == list(range(10))
+
+
+def test_read_from_middle():
+    obj = make_object()
+    obj.append([msg(bytes([i])) for i in range(10)])
+    records, _ = obj.read(7)
+    assert [r.offset for r in records] == [7, 8, 9]
+
+
+def test_read_at_end_is_empty():
+    obj = make_object()
+    obj.append([msg(b"a")])
+    records, _ = obj.read(1)
+    assert records == []
+
+
+def test_read_bad_offset_raises():
+    obj = make_object()
+    obj.append([msg(b"a")])
+    with pytest.raises(InvalidOffsetError):
+        obj.read(5)
+    with pytest.raises(InvalidOffsetError):
+        obj.read(-1)
+
+
+def test_read_control_limits_records():
+    obj = make_object()
+    obj.append([msg(b"x") for _ in range(20)])
+    records, _ = obj.read(0, ReadControl(max_records=5))
+    assert len(records) == 5
+
+
+def test_read_control_limits_bytes():
+    obj = make_object()
+    obj.append([msg(b"x" * 100) for _ in range(20)])
+    records, _ = obj.read(0, ReadControl(max_bytes=300))
+    assert 1 <= len(records) <= 3
+
+
+def test_slice_seals_at_256_records():
+    obj = make_object()
+    obj.append([msg(b"r") for _ in range(RECORDS_PER_SLICE + 10)])
+    sealed = obj.sealed_slices()
+    assert len(sealed) == 1
+    assert sealed[0][0] == 0
+    assert sealed[0][1] == RECORDS_PER_SLICE
+
+
+def test_sealed_slices_readable():
+    obj = make_object()
+    count = RECORDS_PER_SLICE * 2 + 5
+    obj.append([msg(str(i).encode()) for i in range(count)])
+    records, _ = obj.read(0, ReadControl(max_records=count, max_bytes=10**9))
+    assert len(records) == count
+    assert records[300].value == b"300"
+
+
+def test_flush_seals_partial_slice():
+    obj = make_object()
+    obj.append([msg(b"a"), msg(b"b")])
+    assert obj.sealed_slices() == []
+    obj.flush()
+    assert len(obj.sealed_slices()) == 1
+
+
+def test_idempotent_duplicate_skipped():
+    obj = make_object()
+    obj.append([msg(b"v", producer="p1", sequence=0)])
+    duplicate_offset, _ = obj.append([msg(b"v", producer="p1", sequence=0)])
+    assert duplicate_offset == 0
+    assert obj.end_offset == 1
+    assert obj.records_appended == 1
+
+
+def test_different_producers_not_deduped():
+    obj = make_object()
+    obj.append([msg(b"v", producer="p1", sequence=0)])
+    obj.append([msg(b"v", producer="p2", sequence=0)])
+    assert obj.end_offset == 2
+
+
+def test_unsequenced_records_never_deduped():
+    obj = make_object()
+    obj.append([msg(b"v"), msg(b"v")])
+    assert obj.end_offset == 2
+
+
+def test_open_txn_invisible_to_committed_readers():
+    obj = make_object()
+    obj.append([msg(b"t1", txn="txn-1")])
+    assert obj.read(0)[0] == []
+    records, _ = obj.read(0, ReadControl(committed_only=False))
+    assert len(records) == 1
+
+
+def test_commit_makes_visible():
+    obj = make_object()
+    obj.append([msg(b"t1", txn="txn-1")])
+    obj.mark_committed("txn-1")
+    assert [r.value for r in obj.read(0)[0]] == [b"t1"]
+
+
+def test_aborted_records_skipped_forever():
+    obj = make_object()
+    obj.append([msg(b"bad", txn="txn-1"), msg(b"good")])
+    obj.mark_aborted("txn-1")
+    records, _ = obj.read(0)
+    assert [r.value for r in records] == [b"good"]
+
+
+def test_open_txn_is_a_barrier():
+    """Committed-only reads stop before an unresolved transaction so later
+    records are not delivered out of order (last-stable-offset)."""
+    obj = make_object()
+    obj.append([msg(b"a"), msg(b"open", txn="txn-1"), msg(b"b")])
+    records, _ = obj.read(0)
+    assert [r.value for r in records] == [b"a"]
+    obj.mark_committed("txn-1")
+    records, _ = obj.read(0)
+    assert [r.value for r in records] == [b"a", b"open", b"b"]
+
+
+def test_trim_releases_old_slices():
+    obj = make_object()
+    obj.append([msg(b"r") for _ in range(RECORDS_PER_SLICE * 2)])
+    released = obj.trim(RECORDS_PER_SLICE)
+    assert len(released) == 1
+    assert obj.trim_offset == RECORDS_PER_SLICE
+    with pytest.raises(InvalidOffsetError):
+        obj.read(0)
+    records, _ = obj.read(RECORDS_PER_SLICE, ReadControl(max_records=10))
+    assert records[0].offset == RECORDS_PER_SLICE
+
+
+def test_store_create_destroy():
+    clock = SimClock()
+    pool = StoragePool("p", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    store = StreamObjectStore(PLogManager(pool, clock), clock)
+    obj = store.create()
+    assert store.get(obj.object_id) is obj
+    assert len(store) == 1
+    store.destroy(obj.object_id)
+    with pytest.raises(ObjectNotFoundError):
+        store.get(obj.object_id)
+
+
+def test_store_duplicate_id_raises():
+    clock = SimClock()
+    pool = StoragePool("p", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    store = StreamObjectStore(PLogManager(pool, clock), clock)
+    store.create(object_id="fixed")
+    with pytest.raises(ValueError):
+        store.create(object_id="fixed")
+
+
+def test_destroy_releases_plog_space():
+    clock = SimClock()
+    pool = StoragePool("p", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    store = StreamObjectStore(PLogManager(pool, clock), clock)
+    obj = store.create()
+    obj.append([msg(b"x") for _ in range(RECORDS_PER_SLICE)])
+    assert pool.logical_bytes > 0
+    store.destroy(obj.object_id)
+    pool.garbage_collect()
+    assert pool.logical_bytes == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=30), min_size=1, max_size=600))
+def test_ordering_property(values):
+    """Whatever the batch sizes, reads return every record in append order."""
+    obj = make_object()
+    cursor = 0
+    while cursor < len(values):
+        step = min(len(values) - cursor, 1 + cursor % 37)
+        obj.append([msg(v) for v in values[cursor : cursor + step]])
+        cursor += step
+    out = []
+    offset = 0
+    while True:
+        records, _ = obj.read(offset, ReadControl(max_records=100))
+        if not records:
+            break
+        out.extend(r.value for r in records)
+        offset = records[-1].offset + 1
+    assert out == values
+
+
+def test_per_object_redundancy_choice():
+    """CREATE_OPTIONS_S redundancy: replicate objects land in the
+    replicated PLog pool, EC objects in the EC pool."""
+    clock = SimClock()
+    ec_pool = StoragePool("ec", clock, policy=Replication(2))
+    ec_pool.add_disks(NVME_SSD_PROFILE, 3)
+    rep_pool = StoragePool("rep", clock, policy=Replication(3))
+    rep_pool.add_disks(NVME_SSD_PROFILE, 3)
+    store = StreamObjectStore(
+        PLogManager(ec_pool, clock), clock,
+        replicated_plogs=PLogManager(rep_pool, clock),
+    )
+    ec_obj = store.create(redundancy="ec")
+    rep_obj = store.create(redundancy="replicate")
+    ec_obj.append([msg(b"x") for _ in range(RECORDS_PER_SLICE)])
+    rep_obj.append([msg(b"x") for _ in range(RECORDS_PER_SLICE)])
+    assert ec_pool.logical_bytes > 0
+    assert rep_pool.logical_bytes > 0
+    with pytest.raises(ValueError):
+        store.create(redundancy="raid0")

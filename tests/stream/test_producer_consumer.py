@@ -1,0 +1,154 @@
+"""Unit tests for the producer/consumer client APIs (Fig 7)."""
+
+import pytest
+
+from repro.errors import TopicNotFoundError
+from repro.stream.config import TopicConfig
+from repro.stream.consumer import Consumer
+from repro.stream.producer import Producer
+
+
+@pytest.fixture
+def topic(service):
+    service.create_topic("topic_streamlake_test", TopicConfig(stream_num=3))
+    return "topic_streamlake_test"
+
+
+def test_fig7_sample_flow(service, topic):
+    """The paper's sample producer/consumer code path."""
+    producer = Producer(service)
+    producer.send(topic, b"Hello world")
+    producer.flush()
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    records, _ = consumer.poll()
+    assert [r.value for r in records] == [b"Hello world"]
+
+
+def test_batching_defers_delivery(service, topic):
+    producer = Producer(service, batch_size=10)
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    for index in range(9):
+        producer.send(topic, b"x", key="same-key")
+    assert consumer.poll()[0] == []  # batch not yet full
+    producer.send(topic, b"x", key="same-key")  # 10th triggers the flush
+    assert len(consumer.drain()[0]) == 10
+
+
+def test_flush_delivers_partial_batches(service, topic):
+    producer = Producer(service, batch_size=100)
+    producer.send(topic, b"a")
+    producer.send(topic, b"b", key="other")
+    producer.flush()
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    assert len(consumer.drain()[0]) == 2
+
+
+def test_keys_route_to_stable_streams(service, topic):
+    producer = Producer(service, batch_size=1)
+    for _ in range(5):
+        producer.send(topic, b"v", key="fixed")
+    streams_with_data = [
+        stream for stream in service.dispatcher.streams_of(topic)
+        if service.object_for(stream).end_offset > 0
+    ]
+    assert len(streams_with_data) == 1  # same key -> same stream
+
+
+def test_per_key_ordering_preserved(service, topic):
+    producer = Producer(service, batch_size=1)
+    for index in range(20):
+        producer.send(topic, str(index).encode(), key="k")
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    values = [int(r.value) for r in consumer.drain()[0]]
+    assert values == sorted(values)
+
+
+def test_resend_is_idempotent(service, topic):
+    producer = Producer(service, batch_size=1)
+    producer.send(topic, b"original", key="k")
+    producer.resend(topic, b"original", "k", sequence=0)
+    producer.resend(topic, b"original", "k", sequence=0)
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    assert len(consumer.drain()[0]) == 1
+
+
+def test_consumer_seek_replays(service, topic):
+    producer = Producer(service, batch_size=1)
+    for index in range(5):
+        producer.send(topic, str(index).encode(), key="k")
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    first = consumer.drain()[0]
+    stream_id = service.dispatcher.route_key(topic, "k")
+    consumer.seek(stream_id, 0)
+    replay = consumer.drain()[0]
+    assert [r.value for r in replay] == [r.value for r in first]
+
+
+def test_seek_unsubscribed_raises(service, topic):
+    consumer = Consumer(service)
+    with pytest.raises(TopicNotFoundError):
+        consumer.seek("ghost/0", 0)
+
+
+def test_transaction_invisible_until_commit(service, topic):
+    producer = Producer(service, batch_size=100)
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    producer.begin_transaction()
+    for index in range(5):
+        producer.send(topic, b"txn", key=str(index))
+    producer.flush()
+    assert consumer.drain()[0] == []
+    producer.commit_transaction()
+    assert len(consumer.drain()[0]) == 5
+
+
+def test_transaction_abort_discards(service, topic):
+    producer = Producer(service, batch_size=100)
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    producer.begin_transaction()
+    producer.send(topic, b"doomed")
+    producer.abort_transaction()
+    assert consumer.drain()[0] == []
+
+
+def test_read_uncommitted_consumer_sees_open_txn(service, topic):
+    producer = Producer(service, batch_size=1)
+    dirty_reader = Consumer(service, read_uncommitted=True)
+    dirty_reader.subscribe(topic)
+    producer.begin_transaction()
+    producer.send(topic, b"open")
+    producer.flush()
+    assert len(dirty_reader.drain()[0]) == 1
+    producer.abort_transaction()
+
+
+def test_nested_transaction_raises(service, topic):
+    producer = Producer(service)
+    producer.begin_transaction()
+    with pytest.raises(ValueError):
+        producer.begin_transaction()
+    producer.abort_transaction()
+
+
+def test_commit_without_transaction_raises(service, topic):
+    with pytest.raises(ValueError):
+        Producer(service).commit_transaction()
+
+
+def test_counters(service, topic):
+    producer = Producer(service, batch_size=1)
+    producer.send(topic, b"1")
+    producer.send(topic, b"2")
+    consumer = Consumer(service)
+    consumer.subscribe(topic)
+    consumer.drain()
+    assert producer.sent == 2
+    assert consumer.received == 2

@@ -1,0 +1,119 @@
+"""Unit tests for the streaming service facade: topics, elasticity."""
+
+import pytest
+
+from repro.errors import QuotaExceededError, TopicNotFoundError
+from repro.stream.config import TopicConfig
+from repro.stream.consumer import Consumer
+from repro.stream.producer import Producer
+from repro.stream.records import MessageRecord
+
+
+def test_create_topic_binds_objects_and_workers(service):
+    streams = service.create_topic("t", TopicConfig(stream_num=3))
+    for stream in streams:
+        worker = service.workers[service.dispatcher.worker_of(stream)]
+        assert stream in worker.streams()
+        assert service.object_for(stream).object_id == f"sobj:{stream}"
+
+
+def test_delete_topic_cleans_up(service):
+    service.create_topic("t", TopicConfig(stream_num=2))
+    service.delete_topic("t")
+    with pytest.raises(TopicNotFoundError):
+        service.dispatcher.config_of("t")
+    for worker in service.workers.values():
+        assert worker.streams() == []
+
+
+def test_deliver_and_fetch(service):
+    service.create_topic("t", TopicConfig(stream_num=1))
+    records = [MessageRecord("t", "k", b"one"), MessageRecord("t", "k", b"two")]
+    cost = service.deliver("t/0", records)
+    assert cost > 0
+    out, _ = service.fetch("t/0", 0)
+    assert [r.value for r in out] == [b"one", b"two"]
+
+
+def test_scale_workers_out_keeps_data(service):
+    service.create_topic("t", TopicConfig(stream_num=6))
+    producer = Producer(service, batch_size=1)
+    for index in range(30):
+        producer.send("t", str(index).encode(), key=str(index))
+    moved, elapsed = service.scale_workers(6)
+    assert len(service.workers) == 6
+    consumer = Consumer(service)
+    consumer.subscribe("t")
+    assert len(consumer.drain()[0]) == 30  # no records lost, no migration
+
+
+def test_scale_workers_in_keeps_data(service):
+    service.create_topic("t", TopicConfig(stream_num=6))
+    producer = Producer(service, batch_size=1)
+    for index in range(12):
+        producer.send("t", str(index).encode(), key=str(index))
+    service.scale_workers(1)
+    assert len(service.workers) == 1
+    consumer = Consumer(service)
+    consumer.subscribe("t")
+    assert len(consumer.drain()[0]) == 12
+
+
+def test_scale_workers_balances_streams(service):
+    service.create_topic("t", TopicConfig(stream_num=12))
+    service.scale_workers(4)
+    loads = [len(w.streams()) for w in service.workers.values()]
+    assert max(loads) - min(loads) <= 1
+
+
+def test_scale_to_zero_raises(service):
+    with pytest.raises(ValueError):
+        service.scale_workers(0)
+
+
+def test_scale_topic_creates_usable_partitions(service):
+    service.create_topic("t", TopicConfig(stream_num=2))
+    elapsed = service.scale_topic("t", 5)
+    assert elapsed > 0
+    assert len(service.dispatcher.streams_of("t")) == 5
+    service.deliver("t/4", [MessageRecord("t", "k", b"on-new-partition")])
+    out, _ = service.fetch("t/4", 0)
+    assert len(out) == 1
+
+
+def test_quota_applies_through_service(service, clock):
+    service.create_topic("t", TopicConfig(stream_num=1, quota_msgs_per_s=5))
+    service.deliver("t/0", [MessageRecord("t", "k", b"x")] * 5)
+    with pytest.raises(QuotaExceededError):
+        service.deliver("t/0", [MessageRecord("t", "k", b"x")] * 3)
+
+
+def test_flush_all_seals_open_slices(service):
+    service.create_topic("t", TopicConfig(stream_num=1))
+    service.deliver("t/0", [MessageRecord("t", "k", b"x")] * 10)
+    assert service.object_for("t/0").sealed_slices() == []
+    service.flush_all()
+    assert len(service.object_for("t/0").sealed_slices()) == 1
+
+
+def test_archive_cycle_moves_cold_slices(service, clock):
+    from repro.stream.config import ArchiveConfig
+
+    config = TopicConfig(
+        stream_num=1,
+        archive=ArchiveConfig(enabled=True, archive_size_mb=0.001,
+                              row_2_col=True),
+    )
+    config.archive.archive_size_mb = 1  # integer MB; tiny threshold
+    service.create_topic("t", config)
+    big_value = b"z" * 4096
+    for _ in range(3):
+        service.deliver(
+            "t/0", [MessageRecord("t", "k", big_value)] * 200
+        )
+    service.flush_all()
+    archived = service.run_archive_cycle("t")
+    assert archived > 0
+    assert service.archive is not None
+    segments = service.archive.segments_of("sobj:t/0")
+    assert segments and segments[0].columnar

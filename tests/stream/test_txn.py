@@ -1,0 +1,138 @@
+"""Unit tests for the transaction manager (2PC, exactly-once)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.errors import TransactionError
+from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.plog import PLogManager
+from repro.storage.pool import StoragePool
+from repro.storage.replication import Replication
+from repro.stream.object import StreamObject
+from repro.stream.records import MessageRecord
+from repro.stream.txn import TransactionManager, TransactionState
+
+
+@pytest.fixture
+def setup():
+    clock = SimClock()
+    pool = StoragePool("p", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    plogs = PLogManager(pool, clock)
+    manager = TransactionManager(clock)
+    objects = [StreamObject(f"o{i}", plogs, clock) for i in range(3)]
+    return manager, objects, clock
+
+
+def test_begin_creates_open_txn(setup):
+    manager, _, _ = setup
+    txn = manager.begin()
+    assert manager.state_of(txn) is TransactionState.OPEN
+
+
+def test_commit_marks_all_participants(setup):
+    manager, objects, _ = setup
+    txn = manager.begin()
+    for obj in objects:
+        obj.append([MessageRecord("t", "k", b"v", txn_id=txn)])
+        manager.enlist(txn, obj)
+    manager.commit(txn)
+    assert manager.state_of(txn) is TransactionState.COMMITTED
+    for obj in objects:
+        assert len(obj.read(0)[0]) == 1  # visible everywhere atomically
+
+
+def test_commit_cost_scales_with_participants(setup):
+    manager, objects, clock = setup
+    txn = manager.begin()
+    for obj in objects:
+        manager.enlist(txn, obj)
+    cost = manager.commit(txn)
+    assert cost == pytest.approx(
+        2 * 3 * TransactionManager.PHASE_COST_PER_PARTICIPANT_S
+    )
+    assert clock.now >= cost
+
+
+def test_abort_hides_records_everywhere(setup):
+    manager, objects, _ = setup
+    txn = manager.begin()
+    for obj in objects:
+        obj.append([MessageRecord("t", "k", b"v", txn_id=txn)])
+        manager.enlist(txn, obj)
+    manager.abort(txn)
+    assert manager.state_of(txn) is TransactionState.ABORTED
+    for obj in objects:
+        assert obj.read(0)[0] == []
+
+
+def test_veto_aborts_atomically(setup):
+    """A single no vote at prepare rolls the whole transaction back."""
+    manager, objects, _ = setup
+    txn = manager.begin()
+    for obj in objects:
+        obj.append([MessageRecord("t", "k", b"v", txn_id=txn)])
+        manager.enlist(txn, obj)
+    manager.veto(txn, objects[1].object_id)
+    with pytest.raises(TransactionError):
+        manager.commit(txn)
+    assert manager.state_of(txn) is TransactionState.ABORTED
+    for obj in objects:
+        assert obj.read(0)[0] == []  # all-or-nothing
+
+
+def test_double_commit_raises(setup):
+    manager, objects, _ = setup
+    txn = manager.begin()
+    manager.enlist(txn, objects[0])
+    manager.commit(txn)
+    with pytest.raises(TransactionError):
+        manager.commit(txn)
+
+
+def test_abort_after_commit_raises(setup):
+    manager, objects, _ = setup
+    txn = manager.begin()
+    manager.enlist(txn, objects[0])
+    manager.commit(txn)
+    with pytest.raises(TransactionError):
+        manager.abort(txn)
+
+
+def test_enlist_after_commit_raises(setup):
+    manager, objects, _ = setup
+    txn = manager.begin()
+    manager.commit(txn)
+    with pytest.raises(TransactionError):
+        manager.enlist(txn, objects[0])
+
+
+def test_unknown_txn_raises(setup):
+    manager, _, _ = setup
+    with pytest.raises(TransactionError):
+        manager.commit("txn-ghost")
+
+
+def test_counters(setup):
+    manager, objects, _ = setup
+    good = manager.begin()
+    manager.enlist(good, objects[0])
+    manager.commit(good)
+    bad = manager.begin()
+    manager.abort(bad)
+    assert manager.commits == 1
+    assert manager.aborts == 1
+
+
+def test_interleaved_transactions_independent(setup):
+    manager, objects, _ = setup
+    obj = objects[0]
+    txn_a = manager.begin()
+    txn_b = manager.begin()
+    obj.append([MessageRecord("t", "k", b"a", txn_id=txn_a)])
+    manager.enlist(txn_a, obj)
+    manager.enlist(txn_b, obj)
+    manager.abort(txn_b)
+    manager.commit(txn_a)
+    records, _ = obj.read(0)
+    assert [r.value for r in records] == [b"a"]

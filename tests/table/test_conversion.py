@@ -1,0 +1,147 @@
+"""Unit tests for stream <-> table conversion (Section V-B)."""
+
+import json
+
+import pytest
+
+from repro.stream.config import ConvertToTableConfig, TopicConfig
+from repro.stream.producer import Producer
+from repro.table.conversion import StreamTableConverter
+from repro.table.pushdown import AggregateSpec
+from repro.table.schema import PartitionSpec, Schema
+from repro.table.expr import Predicate
+
+SCHEMA_DICT = {"user": "string", "value": "int64", "ts": "timestamp"}
+
+
+def build(service, lakehouse, clock, split_offset=50, split_time=100.0,
+          delete_msg=False):
+    config = TopicConfig(
+        stream_num=2,
+        convert_2_table=ConvertToTableConfig(
+            enabled=True,
+            table_schema=SCHEMA_DICT,
+            table_path="tables/events",
+            split_offset=split_offset,
+            split_time_s=split_time,
+            delete_msg=delete_msg,
+        ),
+    )
+    service.create_topic("events", config)
+    table = lakehouse.create_table(
+        "events", Schema.from_dict(SCHEMA_DICT), PartitionSpec(),
+        path="tables/events",
+    )
+    return StreamTableConverter(service, "events", table, clock), table
+
+
+def publish(service, count, start=0):
+    producer = Producer(service, batch_size=10)
+    for index in range(start, start + count):
+        payload = json.dumps(
+            {"user": f"u{index % 3}", "value": index, "ts": index}
+        ).encode()
+        producer.send("events", payload, key=str(index))
+    producer.flush()
+
+
+def test_no_trigger_before_thresholds(service, lakehouse, clock):
+    converter, _ = build(service, lakehouse, clock, split_offset=1000)
+    publish(service, 10)
+    assert converter.should_convert() is None
+    assert converter.run_cycle().converted == 0
+
+
+def test_offset_trigger(service, lakehouse, clock):
+    converter, table = build(service, lakehouse, clock, split_offset=50)
+    publish(service, 60)
+    assert converter.should_convert() == "offset"
+    report = converter.run_cycle()
+    assert report.triggered_by == "offset"
+    assert report.converted == 60
+    assert table.select(aggregate=AggregateSpec("COUNT")) == [{"COUNT": 60}]
+
+
+def test_time_trigger(service, lakehouse, clock):
+    converter, _ = build(service, lakehouse, clock, split_offset=10**6,
+                         split_time=100.0)
+    publish(service, 5)
+    clock.advance(101)
+    assert converter.should_convert() == "time"
+    assert converter.run_cycle().converted == 5
+
+
+def test_force_converts_regardless(service, lakehouse, clock):
+    converter, table = build(service, lakehouse, clock, split_offset=10**6)
+    publish(service, 7)
+    report = converter.run_cycle(force=True)
+    assert report.triggered_by == "force"
+    assert report.converted == 7
+
+
+def test_incremental_cycles_no_duplicates(service, lakehouse, clock):
+    converter, table = build(service, lakehouse, clock, split_offset=10)
+    publish(service, 20)
+    converter.run_cycle()
+    publish(service, 20, start=20)
+    converter.run_cycle(force=True)
+    assert table.select(aggregate=AggregateSpec("COUNT")) == [{"COUNT": 40}]
+    values = sorted(r["value"] for r in table.select())
+    assert values == list(range(40))
+
+
+def test_malformed_messages_counted_and_skipped(service, lakehouse, clock):
+    converter, table = build(service, lakehouse, clock)
+    producer = Producer(service, batch_size=1)
+    producer.send("events", b"this is not json", key="bad1")
+    producer.send("events", json.dumps({"user": "u", "value": "wrong type",
+                                        "ts": 1}).encode(), key="bad2")
+    producer.send("events", json.dumps([1, 2, 3]).encode(), key="bad3")
+    producer.send("events", json.dumps({"user": "ok", "value": 1,
+                                        "ts": 2}).encode(), key="good")
+    report = converter.run_cycle(force=True)
+    assert report.converted == 1
+    assert report.malformed == 3
+
+
+def test_delete_msg_trims_stream_copy(service, lakehouse, clock, ec_pool):
+    converter, _ = build(service, lakehouse, clock, split_offset=10,
+                         delete_msg=True)
+    publish(service, 300)  # enough to seal slices
+    converter.run_cycle()
+    for stream_id in service.dispatcher.streams_of("events"):
+        obj = service.object_for(stream_id)
+        assert obj.trim_offset == obj.end_offset
+
+
+def test_playback_reverses_conversion(service, lakehouse, clock):
+    converter, table = build(service, lakehouse, clock, split_offset=10)
+    publish(service, 30)
+    converter.run_cycle(force=True)
+    service.create_topic("replay", TopicConfig(stream_num=2))
+    produced, cost = converter.playback("replay")
+    assert produced == 30
+    total = sum(
+        service.object_for(s).end_offset
+        for s in service.dispatcher.streams_of("replay")
+    )
+    assert total == 30
+
+
+def test_playback_with_predicate(service, lakehouse, clock):
+    converter, table = build(service, lakehouse, clock, split_offset=10)
+    publish(service, 30)
+    converter.run_cycle(force=True)
+    service.create_topic("replay", TopicConfig(stream_num=1))
+    produced, _ = converter.playback(
+        "replay", predicate=Predicate("value", "<", 10)
+    )
+    assert produced == 10
+
+
+def test_pending_messages_counts_unconverted(service, lakehouse, clock):
+    converter, _ = build(service, lakehouse, clock, split_offset=10**6)
+    publish(service, 25)
+    assert converter.pending_messages() == 25
+    converter.run_cycle(force=True)
+    assert converter.pending_messages() == 0

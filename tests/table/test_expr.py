@@ -1,0 +1,166 @@
+"""Unit and property tests for predicate expressions.
+
+The key property is *skipping soundness*: ``possibly_matches`` on a
+min/max stats dict may over-approximate but must never rule out a range
+that contains a matching row.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.table.expr import And, Or, Predicate, parse_predicate
+
+
+def test_operators():
+    row = {"x": 5}
+    assert Predicate("x", "=", 5).matches(row)
+    assert Predicate("x", "<", 6).matches(row)
+    assert Predicate("x", "<=", 5).matches(row)
+    assert Predicate("x", ">", 4).matches(row)
+    assert Predicate("x", ">=", 5).matches(row)
+    assert Predicate("x", "IN", (1, 5, 9)).matches(row)
+    assert not Predicate("x", "=", 6).matches(row)
+    assert not Predicate("x", "IN", (1, 2)).matches(row)
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(ValueError):
+        Predicate("x", "!=", 5)
+
+
+def test_in_literal_normalized_to_tuple():
+    predicate = Predicate("x", "IN", [1, 2, 3])
+    assert isinstance(predicate.literal, tuple)
+
+
+def test_null_never_matches():
+    assert not Predicate("x", "=", None if False else 5).matches({"x": None})
+    assert not Predicate("x", ">", 1).matches({})
+
+
+def test_and_or_semantics():
+    row = {"a": 1, "b": 2}
+    both = And(Predicate("a", "=", 1), Predicate("b", "=", 2))
+    either = Or(Predicate("a", "=", 9), Predicate("b", "=", 2))
+    neither = Or(Predicate("a", "=", 9), Predicate("b", "=", 9))
+    assert both.matches(row)
+    assert either.matches(row)
+    assert not neither.matches(row)
+
+
+def test_empty_and_is_true_empty_or_is_false():
+    assert And().matches({"x": 1})
+    assert not Or().matches({"x": 1})
+
+
+def test_columns_and_atoms():
+    expression = And(
+        Predicate("a", "=", 1),
+        Or(Predicate("b", ">", 2), Predicate("a", "<", 0)),
+    )
+    assert expression.columns() == {"a", "b"}
+    assert len(expression.atoms()) == 3
+
+
+def test_possibly_matches_basic():
+    stats = {"x": (10, 20)}
+    assert Predicate("x", "=", 15).possibly_matches(stats)
+    assert not Predicate("x", "=", 25).possibly_matches(stats)
+    assert Predicate("x", "<", 11).possibly_matches(stats)
+    assert not Predicate("x", "<", 10).possibly_matches(stats)
+    assert Predicate("x", ">", 19).possibly_matches(stats)
+    assert not Predicate("x", ">", 20).possibly_matches(stats)
+
+
+def test_possibly_matches_unknown_column_conservative():
+    assert Predicate("ghost", "=", 1).possibly_matches({"x": (0, 1)})
+
+
+def test_possibly_matches_null_stats_conservative():
+    assert Predicate("x", "=", 1).possibly_matches({"x": (None, None)})
+
+
+def test_possibly_matches_incomparable_types_conservative():
+    assert Predicate("x", ">", 5).possibly_matches({"x": ("a", "z")})
+
+
+def test_string_ranges():
+    stats = {"s": ("apple", "mango")}
+    assert Predicate("s", "=", "banana").possibly_matches(stats)
+    assert not Predicate("s", "=", "zebra").possibly_matches(stats)
+
+
+def test_parse_fig13_where_clause():
+    expression = parse_predicate(
+        "url = 'http://streamlake_fin_app.com' and "
+        "start_time >= 1656806400 and start_time < 1656892800"
+    )
+    assert expression.matches({
+        "url": "http://streamlake_fin_app.com", "start_time": 1656850000,
+    })
+    assert not expression.matches({
+        "url": "http://streamlake_fin_app.com", "start_time": 1656892800,
+    })
+
+
+def test_parse_single_atom():
+    expression = parse_predicate("age > 30")
+    assert isinstance(expression, Predicate)
+    assert expression.matches({"age": 31})
+
+
+def test_parse_float_literal():
+    assert parse_predicate("score <= 2.5").matches({"score": 2.5})
+
+
+def test_parse_garbage_raises():
+    with pytest.raises(ValueError):
+        parse_predicate("this is not a predicate")
+
+
+def test_str_rendering():
+    text = str(And(Predicate("a", "=", 1), Predicate("b", "<", 2)))
+    assert "a = 1" in text and "AND" in text
+
+
+values = st.integers(min_value=-100, max_value=100)
+operators = st.sampled_from(["<", "<=", "=", ">", ">="])
+
+
+@given(
+    rows=st.lists(values, min_size=1, max_size=50),
+    op=operators,
+    literal=values,
+)
+def test_skipping_soundness(rows, op, literal):
+    """If any row matches, min/max stats must NOT allow skipping."""
+    predicate = Predicate("x", op, literal)
+    stats = {"x": (min(rows), max(rows))}
+    any_match = any(predicate.matches({"x": row}) for row in rows)
+    if any_match:
+        assert predicate.possibly_matches(stats)
+
+
+@given(
+    rows=st.lists(values, min_size=1, max_size=30),
+    literals=st.lists(values, min_size=1, max_size=5),
+)
+def test_in_skipping_soundness(rows, literals):
+    predicate = Predicate("x", "IN", tuple(literals))
+    stats = {"x": (min(rows), max(rows))}
+    if any(predicate.matches({"x": row}) for row in rows):
+        assert predicate.possibly_matches(stats)
+
+
+@given(
+    rows=st.lists(st.tuples(values, values), min_size=1, max_size=30),
+    op_a=operators, lit_a=values, op_b=operators, lit_b=values,
+)
+def test_conjunction_skipping_soundness(rows, op_a, lit_a, op_b, lit_b):
+    expression = And(Predicate("a", op_a, lit_a), Predicate("b", op_b, lit_b))
+    stats = {
+        "a": (min(r[0] for r in rows), max(r[0] for r in rows)),
+        "b": (min(r[1] for r in rows), max(r[1] for r in rows)),
+    }
+    if any(expression.matches({"a": a, "b": b}) for a, b in rows):
+        assert expression.possibly_matches(stats)

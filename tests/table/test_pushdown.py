@@ -1,0 +1,87 @@
+"""Unit tests for aggregate pushdown."""
+
+import pytest
+
+from repro.table.pushdown import AggregateSpec, execute_pushdown, result_size_bytes
+
+ROWS = [
+    {"province": "bj", "bytes": 10, "user": 1},
+    {"province": "bj", "bytes": 20, "user": 2},
+    {"province": "sh", "bytes": 30, "user": 3},
+    {"province": "sh", "bytes": None, "user": 4},
+]
+
+
+def test_count_star():
+    out = execute_pushdown(ROWS, AggregateSpec("COUNT"))
+    assert out == [{"COUNT": 4}]
+
+
+def test_count_empty_input():
+    assert execute_pushdown([], AggregateSpec("COUNT")) == [{"COUNT": 0}]
+
+
+def test_count_group_by():
+    out = execute_pushdown(ROWS, AggregateSpec("COUNT", group_by=("province",)))
+    assert out == [
+        {"province": "bj", "COUNT": 2},
+        {"province": "sh", "COUNT": 2},
+    ]
+
+
+def test_sum():
+    out = execute_pushdown(ROWS, AggregateSpec("SUM", "bytes"))
+    assert out == [{"SUM": 60.0}]
+
+
+def test_sum_ignores_nulls():
+    out = execute_pushdown(
+        ROWS, AggregateSpec("SUM", "bytes", group_by=("province",))
+    )
+    assert {row["province"]: row["SUM"] for row in out} == {
+        "bj": 30.0, "sh": 30.0,
+    }
+
+
+def test_avg():
+    out = execute_pushdown(ROWS, AggregateSpec("AVG", "bytes"))
+    # AVG divides by group count (4 rows) per accumulator semantics
+    assert out[0]["AVG"] == pytest.approx(60 / 4)
+
+
+def test_min_max():
+    assert execute_pushdown(ROWS, AggregateSpec("MIN", "bytes"))[0]["MIN"] == 10
+    assert execute_pushdown(ROWS, AggregateSpec("MAX", "bytes"))[0]["MAX"] == 30
+
+
+def test_group_by_multiple_columns():
+    out = execute_pushdown(
+        ROWS, AggregateSpec("COUNT", group_by=("province", "user"))
+    )
+    assert len(out) == 4
+
+
+def test_empty_group_by_with_no_rows_groups_absent():
+    out = execute_pushdown([], AggregateSpec("COUNT", group_by=("province",)))
+    assert out == []
+
+
+def test_unknown_function_raises():
+    with pytest.raises(ValueError):
+        AggregateSpec("MEDIAN", "x")
+
+
+def test_non_count_requires_column():
+    with pytest.raises(ValueError):
+        AggregateSpec("SUM")
+
+
+def test_columns_needed():
+    spec = AggregateSpec("SUM", "bytes", group_by=("province",))
+    assert spec.columns() == {"bytes", "province"}
+    assert AggregateSpec("COUNT").columns() == set()
+
+
+def test_result_size_small_for_aggregates():
+    out = execute_pushdown(ROWS, AggregateSpec("COUNT", group_by=("province",)))
+    assert result_size_bytes(out) < 100

@@ -1,0 +1,282 @@
+"""Unit tests for TableObject / Lakehouse: the full lakehouse operations."""
+
+import pytest
+
+from repro.errors import (
+    CommitConflictError,
+    OutOfMemoryError,
+    SchemaError,
+    TableNotFoundError,
+)
+from repro.table.expr import And, Predicate
+from repro.table.pushdown import AggregateSpec
+from repro.table.schema import Column, ColumnType, PartitionSpec, Schema
+from repro.table.table import QueryStats
+
+
+SCHEMA = Schema([
+    Column("city", ColumnType.STRING),
+    Column("day", ColumnType.INT64),
+    Column("value", ColumnType.INT64),
+])
+
+
+def rows_for(count, cities=("bj", "sh"), days=(1, 2)):
+    return [
+        {
+            "city": cities[index % len(cities)],
+            "day": days[index % len(days)],
+            "value": index,
+        }
+        for index in range(count)
+    ]
+
+
+@pytest.fixture
+def table(lakehouse):
+    return lakehouse.create_table("events", SCHEMA, PartitionSpec.by("city"))
+
+
+def test_create_registers_catalog(lakehouse, table):
+    assert lakehouse.catalog.exists("events")
+    assert lakehouse.table("events") is table
+
+
+def test_insert_select_roundtrip(table):
+    rows = rows_for(20)
+    table.insert(rows)
+    out = table.select()
+    assert sorted(r["value"] for r in out) == list(range(20))
+
+
+def test_insert_empty_raises(table):
+    with pytest.raises(ValueError):
+        table.insert([])
+
+
+def test_insert_validates_schema(table):
+    with pytest.raises(SchemaError):
+        table.insert([{"city": "bj", "day": "not-int", "value": 1}])
+
+
+def test_partitioned_layout(table):
+    table.insert(rows_for(10))
+    partitions = table.partitions()
+    assert set(partitions) == {"city=bj", "city=sh"}
+
+
+def test_select_with_predicate_and_stats(table):
+    table.insert(rows_for(40))
+    stats = QueryStats()
+    out = table.select(Predicate("city", "=", "bj"), stats=stats)
+    assert all(r["city"] == "bj" for r in out)
+    assert stats.files_skipped >= 1  # the sh partition pruned by file stats
+    assert stats.rows_returned == len(out)
+
+
+def test_select_aggregate_pushdown(table):
+    table.insert(rows_for(40))
+    out = table.select(
+        aggregate=AggregateSpec("COUNT", group_by=("city",))
+    )
+    assert out == [{"city": "bj", "COUNT": 20}, {"city": "sh", "COUNT": 20}]
+
+
+def test_select_projection(table):
+    table.insert(rows_for(4))
+    out = table.select(columns=["value"])
+    assert all(set(r) == {"value"} for r in out)
+
+
+def test_time_travel(table, clock):
+    table.insert(rows_for(10))
+    before = clock.now
+    clock.advance(10)
+    table.insert(rows_for(5))
+    assert len(table.select()) == 15
+    assert len(table.select(as_of=before)) == 10
+
+
+def test_time_travel_after_delete_still_sees_old_rows(table, clock):
+    table.insert(rows_for(10))
+    before = clock.now
+    clock.advance(1)
+    table.delete(Predicate("city", "=", "bj"))
+    assert len(table.select(as_of=before)) == 10  # old files retained
+    assert len(table.select()) == 5
+
+
+def test_delete_metadata_only_for_full_partitions(table):
+    table.insert(rows_for(20))
+    files_before = table.live_file_count()
+    table.delete(Predicate("city", "=", "bj"))
+    out = table.select()
+    assert all(r["city"] == "sh" for r in out)
+    # no rewritten files: partition fully covered -> pure metadata delete
+    assert table.live_file_count() == files_before - 1
+    last = table.snapshots.commit(table.snapshots.current.commit_ids[-1])
+    assert last.operation == "delete"
+    assert last.added == ()
+
+
+def test_delete_partial_rewrites_survivors(table):
+    table.insert(rows_for(20))
+    table.delete(And(Predicate("city", "=", "bj"), Predicate("value", "<", 10)))
+    out = table.select(Predicate("city", "=", "bj"))
+    assert all(r["value"] >= 10 for r in out)
+
+
+def test_delete_nothing_matches_no_commit(table):
+    table.insert(rows_for(10))
+    version = table.snapshots.current_version
+    table.delete(Predicate("value", "=", 999))
+    assert table.snapshots.current_version == version
+
+
+def test_update_rows(table):
+    table.insert(rows_for(10))
+    table.update(Predicate("city", "=", "bj"), {"value": -1})
+    for row in table.select(Predicate("city", "=", "bj")):
+        assert row["value"] == -1
+    for row in table.select(Predicate("city", "=", "sh")):
+        assert row["value"] >= 0
+
+
+def test_update_can_move_partitions(table):
+    table.insert(rows_for(10))
+    table.update(Predicate("city", "=", "bj"), {"city": "gz"})
+    assert "city=gz" in table.partitions()
+    assert table.select(Predicate("city", "=", "bj")) == []
+
+
+def test_update_unknown_column_raises(table):
+    table.insert(rows_for(4))
+    with pytest.raises(SchemaError):
+        table.update(Predicate("city", "=", "bj"), {"ghost": 1})
+
+
+def test_occ_conflict_detected(table):
+    """A commit based on a stale snapshot that removes replaced files
+    raises CommitConflictError (the compaction-vs-writer conflict of
+    Section VI-A)."""
+    table.insert(rows_for(20))
+    table.insert(rows_for(20))  # two small files in city=bj
+    stale_version = table.begin()
+    # concurrent writer replaces the bj files before compaction commits
+    table.update(Predicate("city", "=", "bj"), {"value": 0})
+    with pytest.raises(CommitConflictError):
+        table.compact("city=bj", target_file_bytes=10**9,
+                      expected_version=stale_version)
+
+
+def test_compact_merges_small_files(table):
+    for batch in range(5):
+        table.insert(rows_for(4))
+    bj_files = len(table.partitions()["city=bj"])
+    assert bj_files == 5
+    table.compact("city=bj", target_file_bytes=10**9)
+    assert len(table.partitions()["city=bj"]) == 1
+    assert len(table.select(Predicate("city", "=", "bj"))) == 10
+
+
+def test_compact_single_file_noop(table):
+    table.insert(rows_for(4))
+    assert table.compact("city=bj", target_file_bytes=10**9) == 0.0
+
+
+def test_expire_snapshots_reclaims_files(table, clock, ec_pool):
+    table.insert(rows_for(10))
+    clock.advance(10)
+    table.update(Predicate("city", "=", "bj"), {"value": 1})
+    clock.advance(10)
+    dead_paths = [
+        meta.path
+        for meta in table.snapshots.live_files(
+            table.snapshots.snapshot_by_id(0)
+        )
+    ]
+    table.expire_snapshots(older_than=clock.now)
+    live_paths = {m.path for m in table.snapshots.live_files()}
+    for path in dead_paths:
+        if path not in live_paths:
+            assert not ec_pool.has_extent(path)
+
+
+def test_memory_budget_oom_file_store(clock, ec_pool, bus):
+    from repro.table.metacache import FileMetadataStore
+    from repro.table.table import Lakehouse
+
+    lake = Lakehouse(
+        ec_pool, bus, clock, meta_store=FileMetadataStore(ec_pool, clock)
+    )
+    table = lake.create_table("t", SCHEMA, PartitionSpec.by("city"))
+    for _ in range(20):
+        table.insert(rows_for(4))
+    with pytest.raises(OutOfMemoryError):
+        table.select(memory_budget_bytes=1000)
+    assert table.select(memory_budget_bytes=10**8) is not None
+
+
+def test_memory_budget_accelerated_never_ooms(table):
+    for _ in range(20):
+        table.insert(rows_for(4))
+    out = table.select(memory_budget_bytes=1000)
+    assert len(out) == 80
+
+
+def test_drop_soft_and_restore(lakehouse, table):
+    table.insert(rows_for(6))
+    lakehouse.drop_table_soft("events")
+    with pytest.raises(TableNotFoundError):
+        lakehouse.table("events")
+    restored = lakehouse.restore_table("events", "events_v2")
+    assert len(restored.select()) == 6
+
+
+def test_drop_hard_removes_data(lakehouse, table, ec_pool):
+    table.insert(rows_for(6))
+    paths = [m.path for m in table.snapshots.live_files()]
+    lakehouse.drop_table_hard("events")
+    with pytest.raises(TableNotFoundError):
+        lakehouse.table("events")
+    for path in paths:
+        assert not ec_pool.has_extent(path)
+
+
+def test_drop_hard_unknown_raises(lakehouse):
+    with pytest.raises(TableNotFoundError):
+        lakehouse.drop_table_hard("ghost")
+
+
+def test_commit_protocol_cost_applied(clock, ec_pool, bus):
+    from repro.table.table import Lakehouse
+
+    lake = Lakehouse(ec_pool, bus, clock, commit_protocol_s=0.5)
+    table = lake.create_table("t", SCHEMA)
+    before = clock.now
+    table.insert(rows_for(2))
+    assert clock.now - before >= 0.5
+
+
+def test_unpartitioned_table(lakehouse):
+    table = lakehouse.create_table("flat", SCHEMA)
+    table.insert(rows_for(10))
+    assert set(table.partitions()) == {"all"}
+    assert len(table.select(Predicate("value", ">=", 5))) == 5
+
+
+def test_parallel_read_tasks_shrink_data_cost(table):
+    for _ in range(8):
+        table.insert(rows_for(40))
+    serial = QueryStats()
+    table.select(stats=serial)
+    parallel = QueryStats()
+    rows = table.select(read_parallelism=8, stats=parallel)
+    assert parallel.data_cost_s < serial.data_cost_s
+    assert len(rows) == 8 * 40  # same answer either way
+
+
+def test_parallel_read_validation(table):
+    table.insert(rows_for(4))
+    with pytest.raises(ValueError):
+        table.select(read_parallelism=0)

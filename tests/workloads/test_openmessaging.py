@@ -1,0 +1,76 @@
+"""Unit tests for the OpenMessaging-style driver."""
+
+import pytest
+
+from repro.workloads.openmessaging import MESSAGE_BYTES, OpenMessagingDriver
+
+
+def constant_service(per_batch_s):
+    def deliver(stream_id, records):
+        return per_batch_s
+    return deliver
+
+
+def test_requires_streams():
+    with pytest.raises(ValueError):
+        OpenMessagingDriver(constant_service(0.001), [])
+
+
+def test_requires_positive_rate():
+    driver = OpenMessagingDriver(constant_service(0.001), ["s0"])
+    with pytest.raises(ValueError):
+        driver.run(0, 100)
+
+
+def test_underload_latency_equals_service_time():
+    # service 1 ms/batch of 100; offered 10 batches/s -> no queueing
+    driver = OpenMessagingDriver(constant_service(0.001), ["s0"],
+                                 batch_size=100)
+    report = driver.run(1000, 2000)
+    assert report.mean_latency_s == pytest.approx(0.001)
+    assert report.p99_latency_s == pytest.approx(0.001)
+
+
+def test_overload_latency_grows():
+    # service 1 s/batch but batches arrive every 0.1 s -> queue builds
+    driver = OpenMessagingDriver(constant_service(1.0), ["s0"],
+                                 batch_size=100)
+    report = driver.run(1000, 1000)
+    assert report.p99_latency_s > report.p50_latency_s
+    assert report.mean_latency_s > 1.0
+
+
+def test_throughput_capped_by_service_rate():
+    # capacity: 100 msgs / 0.5 s = 200 msg/s; offered 10x that
+    driver = OpenMessagingDriver(constant_service(0.5), ["s0"],
+                                 batch_size=100)
+    report = driver.run(2000, 2000)
+    assert report.achieved_throughput == pytest.approx(200, rel=0.1)
+
+
+def test_multiple_streams_parallelize():
+    one = OpenMessagingDriver(constant_service(0.5), ["s0"], batch_size=100)
+    three = OpenMessagingDriver(constant_service(0.5), ["s0", "s1", "s2"],
+                                batch_size=100)
+    capped = one.run(10_000, 3000)
+    scaled = three.run(10_000, 3000)
+    assert scaled.achieved_throughput > 2 * capped.achieved_throughput
+
+
+def test_message_accounting():
+    driver = OpenMessagingDriver(constant_service(0.001), ["s0"],
+                                 batch_size=64)
+    report = driver.run(1000, 250)
+    assert report.messages == 250
+    assert report.offered_rate == 1000
+
+
+def test_message_size_constant():
+    sizes = []
+
+    def deliver(stream_id, records):
+        sizes.extend(r.size_bytes for r in records)
+        return 0.001
+
+    OpenMessagingDriver(deliver, ["s0"], batch_size=10).run(100, 20)
+    assert all(abs(size - MESSAGE_BYTES) < 64 for size in sizes)

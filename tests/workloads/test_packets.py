@@ -1,0 +1,79 @@
+"""Unit tests for the DPI packet workload generator."""
+
+import json
+
+from repro.table.schema import Schema
+from repro.workloads.packets import (
+    BASE_TIMESTAMP,
+    FIN_APP_URL,
+    PACKET_NOMINAL_BYTES,
+    PacketConfig,
+    PacketGenerator,
+)
+
+
+def test_nominal_size_matches_paper():
+    assert PACKET_NOMINAL_BYTES == 1200  # "average size of 1.2 KB"
+
+
+def test_deterministic_under_seed():
+    a = list(PacketGenerator(PacketConfig(num_packets=50, seed=3)).rows())
+    b = list(PacketGenerator(PacketConfig(num_packets=50, seed=3)).rows())
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = list(PacketGenerator(PacketConfig(num_packets=50, seed=1)).rows())
+    b = list(PacketGenerator(PacketConfig(num_packets=50, seed=2)).rows())
+    assert a != b
+
+
+def test_rows_match_declared_schema():
+    schema = Schema.from_dict(PacketGenerator.SCHEMA)
+    for row in PacketGenerator(PacketConfig(num_packets=100)).rows():
+        schema.validate_row(row)
+
+
+def test_timestamps_within_configured_hours():
+    config = PacketConfig(num_packets=200, hours=12)
+    for row in PacketGenerator(config).rows():
+        assert BASE_TIMESTAMP <= row["start_time"] < BASE_TIMESTAMP + 12 * 3600
+
+
+def test_fin_app_present():
+    rows = list(PacketGenerator(PacketConfig(num_packets=500)).rows())
+    assert any(row["url"] == FIN_APP_URL for row in rows)
+
+
+def test_dirty_fraction_approximate():
+    config = PacketConfig(num_packets=5000, dirty_fraction=0.2)
+    rows = list(PacketGenerator(config).rows())
+    dirty = sum(1 for row in rows if row["dirty"])
+    assert 0.10 < dirty / len(rows) < 0.30
+
+
+def test_dirty_rows_clustered_in_hot_hours():
+    config = PacketConfig(num_packets=5000, cluster_fraction=0.25)
+    rows = list(PacketGenerator(config).rows())
+    dirty_hours = {row["start_time"] // 3600 for row in rows if row["dirty"]}
+    all_hours = {row["start_time"] // 3600 for row in rows}
+    assert len(dirty_hours) < len(all_hours) * 0.5
+
+
+def test_unlabeled_rows_have_empty_label():
+    rows = list(PacketGenerator(PacketConfig(num_packets=2000)).rows())
+    unlabeled = [row for row in rows if row["app_label"] == ""]
+    labeled = [row for row in rows if row["app_label"] != ""]
+    assert unlabeled and labeled
+
+
+def test_messages_are_parseable_json():
+    generator = PacketGenerator(PacketConfig(num_packets=20))
+    for key, value in generator.messages():
+        parsed = json.loads(value)
+        assert parsed["user_id"] == int(key)
+
+
+def test_nominal_volume():
+    generator = PacketGenerator(PacketConfig(num_packets=1000))
+    assert generator.nominal_volume_bytes == 1000 * 1200

@@ -1,0 +1,81 @@
+"""Unit tests for the TPC-H generator and query workload."""
+
+from repro.table.expr import Expression
+from repro.workloads.tpch import (
+    LINEITEM_SCHEMA,
+    ORDERS_SCHEMA,
+    PREDICATE_COLUMNS,
+    SHIPDATE_HIGH,
+    SHIPDATE_LOW,
+    TPCHGenerator,
+    generate_query_workload,
+)
+
+
+def test_row_count_scales_with_sf():
+    small = TPCHGenerator(scale_factor=1, rows_per_sf=100)
+    large = TPCHGenerator(scale_factor=5, rows_per_sf=100)
+    assert len(large.lineitem()) == 5 * len(small.lineitem())
+
+
+def test_lineitem_matches_schema():
+    rows = TPCHGenerator(scale_factor=1, rows_per_sf=200).lineitem()
+    for row in rows:
+        LINEITEM_SCHEMA.validate_row(row)
+
+
+def test_orders_matches_schema():
+    rows = TPCHGenerator(scale_factor=1, rows_per_sf=200).orders()
+    for row in rows:
+        ORDERS_SCHEMA.validate_row(row)
+
+
+def test_value_domains_per_spec():
+    rows = TPCHGenerator(scale_factor=1, rows_per_sf=500).lineitem()
+    for row in rows:
+        assert 1 <= row["l_quantity"] <= 50
+        assert 0.0 <= row["l_discount"] <= 0.10
+        assert SHIPDATE_LOW <= row["l_shipdate"] < SHIPDATE_HIGH
+        assert row["l_commitdate"] > row["l_shipdate"]
+        assert row["l_receiptdate"] > row["l_shipdate"]
+
+
+def test_deterministic_under_seed():
+    a = TPCHGenerator(scale_factor=1, rows_per_sf=50, seed=9).lineitem()
+    b = TPCHGenerator(scale_factor=1, rows_per_sf=50, seed=9).lineitem()
+    assert a == b
+
+
+def test_workload_size_and_type():
+    workload = generate_query_workload(25, seed=1)
+    assert len(workload) == 25
+    assert all(isinstance(query, Expression) for query in workload)
+
+
+def test_workload_queries_reference_known_columns():
+    for query in generate_query_workload(40, seed=2):
+        assert query.columns() <= set(PREDICATE_COLUMNS)
+
+
+def test_workload_queries_are_satisfiable():
+    """Most random queries should match at least one row at modest scale."""
+    rows = TPCHGenerator(scale_factor=2, rows_per_sf=2000, seed=0).lineitem()
+    workload = generate_query_workload(30, seed=3)
+    matching = sum(
+        1 for query in workload if any(query.matches(row) for row in rows)
+    )
+    assert matching >= len(workload) * 0.5
+
+
+def test_workload_deterministic():
+    a = generate_query_workload(10, seed=5)
+    b = generate_query_workload(10, seed=5)
+    assert [str(q) for q in a] == [str(q) for q in b]
+
+
+def test_custom_domains():
+    workload = generate_query_workload(
+        5, seed=0, columns={"x": (0.0, 1.0)}
+    )
+    for query in workload:
+        assert query.columns() == {"x"}
