@@ -4,12 +4,68 @@
 (Welford's algorithm); :class:`Percentiles` stores samples for quantile
 reporting (latency p50/p99) — bench runs are small enough that storing is
 fine and exact quantiles beat sketches for reproducibility.
+:class:`CacheStats` counts hits/misses/evictions for the caches in the
+system (decoded-chunk cache, metadata cache); named instances register in
+:data:`CACHES` so benches can report every cache's hit rate in one place.
 """
 
 from __future__ import annotations
 
 import math
 from bisect import insort
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def record_hit(self, count: int = 1) -> None:
+        self.hits += count
+
+    def record_miss(self, count: int = 1) -> None:
+        self.misses += count
+
+    def record_eviction(self, count: int = 1) -> None:
+        self.evictions += count
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: Registry of named cache counters (e.g. "table.chunk_cache").
+CACHES: dict[str, CacheStats] = {}
+
+
+def cache_stats(name: str) -> CacheStats:
+    """Return (creating on first use) the named cache's counters."""
+    stats = CACHES.get(name)
+    if stats is None:
+        stats = CACHES[name] = CacheStats()
+    return stats
 
 
 class OnlineStats:

@@ -87,9 +87,15 @@ class DataBus:
         self._pending: list[_QueuedTransfer] = []
         self._counter = itertools.count()
         self._small_backlog: list[int] = []
+        self._small_backlog_bytes = 0  # running total: appends stay O(1)
         self.transfers = 0
         self.bytes_moved = 0
         self.aggregated_batches = 0
+
+    @property
+    def pending_small_bytes(self) -> int:
+        """Bytes buffered for small-I/O aggregation, awaiting a flush."""
+        return self._small_backlog_bytes
 
     def transfer(self, size: int, urgent: bool = False) -> float:
         """Move ``size`` bytes; returns simulated seconds on the wire.
@@ -107,7 +113,8 @@ class DataBus:
             and size < SMALL_IO_THRESHOLD
         ):
             self._small_backlog.append(size)
-            if sum(self._small_backlog) >= AGGREGATION_TARGET:
+            self._small_backlog_bytes += size
+            if self._small_backlog_bytes >= AGGREGATION_TARGET:
                 return self.flush_small_io()
             return 0.0
         self.transfers += 1
@@ -119,9 +126,10 @@ class DataBus:
         """Send the aggregated small-I/O backlog as one batch."""
         if not self._small_backlog:
             return 0.0
-        total = sum(self._small_backlog)
+        total = self._small_backlog_bytes
         count = len(self._small_backlog)
         self._small_backlog.clear()
+        self._small_backlog_bytes = 0
         self.transfers += 1
         self.aggregated_batches += 1
         # one latency + one bandwidth term for the whole batch

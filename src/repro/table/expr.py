@@ -2,9 +2,11 @@
 
 Predicates take the paper's form (attribute, operator, literal) with
 operators {<=, >=, <, >, =, IN}, combined with AND/OR.  The same tree is
-used by three consumers:
+used by four consumers:
 
 * pushdown evaluation (`matches` on a row);
+* vectorized scanning (`mask` over decoded column vectors — one NumPy
+  comparison per atom, boolean combination of the resulting masks);
 * data skipping (`possibly_matches` against min/max column statistics —
   sound: may return True for a range with no matching rows, never False
   for one that has them);
@@ -14,8 +16,14 @@ used by three consumers:
 
 from __future__ import annotations
 
+import re
 from abc import ABC, abstractmethod
+from collections.abc import Mapping
 from dataclasses import dataclass
+
+import numpy as np
+
+from repro.table.vector import ColumnVector
 
 _OPS = ("<=", ">=", "<", ">", "=", "IN")
 
@@ -26,6 +34,18 @@ class Expression(ABC):
     @abstractmethod
     def matches(self, row: dict[str, object]) -> bool:
         """Exact evaluation against one row."""
+
+    @abstractmethod
+    def mask(self, columns: Mapping[str, ColumnVector],
+             num_rows: int) -> np.ndarray:
+        """Vectorized evaluation: boolean mask over ``num_rows`` rows.
+
+        ``columns`` maps the referenced column names to their decoded
+        vectors.  Row-for-row equivalent to calling :meth:`matches`,
+        except that an AND/OR does not short-circuit per row — an
+        incomparable atom may therefore raise where row-wise evaluation
+        of well-typed earlier atoms would have masked it.
+        """
 
     @abstractmethod
     def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
@@ -71,6 +91,23 @@ class Predicate(Expression):
             return value > self.literal  # type: ignore[operator]
         return value >= self.literal  # type: ignore[operator]
 
+    def mask(self, columns: Mapping[str, ColumnVector],
+             num_rows: int) -> np.ndarray:
+        vector = columns.get(self.column)
+        if vector is None:
+            return np.zeros(num_rows, dtype=bool)  # absent column: all null
+        try:
+            return vector.compare(self.op, self.literal)
+        except TypeError:
+            # incomparable types: fall back to the row-wise evaluator,
+            # which raises (or not) exactly where matches() would —
+            # e.g. an all-null chunk ordered against a string literal
+            # yields all-False instead of the vector path's TypeError
+            out = np.empty(num_rows, dtype=bool)
+            for index, value in enumerate(vector.to_list()):
+                out[index] = self.matches({self.column: value})
+            return out
+
     def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
         bounds = stats.get(self.column)
         if bounds is None:
@@ -115,6 +152,15 @@ class And(Expression):
     def matches(self, row: dict[str, object]) -> bool:
         return all(child.matches(row) for child in self.children)
 
+    def mask(self, columns: Mapping[str, ColumnVector],
+             num_rows: int) -> np.ndarray:
+        out = np.ones(num_rows, dtype=bool)
+        for child in self.children:
+            out &= child.mask(columns, num_rows)
+            if not out.any():
+                break  # group-level short circuit: nothing can match
+        return out
+
     def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
         return all(child.possibly_matches(stats) for child in self.children)
 
@@ -146,6 +192,15 @@ class Or(Expression):
     def matches(self, row: dict[str, object]) -> bool:
         return any(child.matches(row) for child in self.children)
 
+    def mask(self, columns: Mapping[str, ColumnVector],
+             num_rows: int) -> np.ndarray:
+        out = np.zeros(num_rows, dtype=bool)
+        for child in self.children:
+            out |= child.mask(columns, num_rows)
+            if out.all():
+                break  # everything already matches
+        return out
+
     def possibly_matches(self, stats: dict[str, tuple[object, object]]) -> bool:
         if not self.children:
             return False
@@ -167,20 +222,66 @@ class Or(Expression):
         return "(" + " OR ".join(str(child) for child in self.children) + ")"
 
 
+def _quote_spans(text: str) -> list[tuple[int, int]]:
+    """Half-open index ranges of quoted string literals in ``text``."""
+    spans = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char in ("'", '"'):
+            closing = text.find(char, index + 1)
+            if closing == -1:
+                closing = len(text) - 1  # unterminated: treat rest as quoted
+            spans.append((index, closing + 1))
+            index = closing + 1
+        else:
+            index += 1
+    return spans
+
+
+def _outside_quotes(position: int, spans: list[tuple[int, int]]) -> bool:
+    return all(not (start <= position < end) for start, end in spans)
+
+
+def split_conjuncts(text: str) -> list[str]:
+    """Split on ``and`` connectives that are not inside quoted literals."""
+    spans = _quote_spans(text)
+    parts = []
+    cursor = 0
+    for match in re.finditer(r"\s+and\s+", text, re.IGNORECASE):
+        if _outside_quotes(match.start(), spans):
+            parts.append(text[cursor : match.start()])
+            cursor = match.end()
+    parts.append(text[cursor:])
+    return parts
+
+
 def parse_predicate(text: str) -> Expression:
     """Parse a simple conjunctive WHERE clause.
 
     Supports ``col OP literal`` atoms joined by ``and``; literals are
-    ints, floats, or quoted strings.  Example (the paper's Fig 13 clause)::
+    ints, floats, or quoted strings (which may themselves contain
+    ``and`` or operator characters).  ``IN`` is not supported here —
+    construct :class:`Predicate` directly or use the SQL front end.
+    Example (the paper's Fig 13 clause)::
 
         url = 'http://streamlake_fin_app.com' and start_time >= 1656806400
     """
     atoms = []
-    for clause in text.split(" and "):
+    for clause in split_conjuncts(text):
         clause = clause.strip()
+        spans = _quote_spans(clause)
+        in_match = re.search(r"\s+in\s*[\(']", clause, re.IGNORECASE)
+        if in_match is not None and _outside_quotes(in_match.start(), spans):
+            raise ValueError(
+                "IN is not supported by parse_predicate; build "
+                "Predicate(column, 'IN', values) directly or use repro.table.sql"
+            )
         for op in ("<=", ">=", "=", "<", ">"):
-            if f" {op} " in clause:
-                column, _, literal_text = clause.partition(f" {op} ")
+            position = _find_operator(clause, f" {op} ", spans)
+            if position is not None:
+                column = clause[:position]
+                literal_text = clause[position + len(op) + 2 :]
                 atoms.append(Predicate(column.strip(), op, _literal(literal_text)))
                 break
         else:
@@ -188,6 +289,19 @@ def parse_predicate(text: str) -> Expression:
     if len(atoms) == 1:
         return atoms[0]
     return And(*atoms)
+
+
+def _find_operator(clause: str, needle: str,
+                   spans: list[tuple[int, int]]) -> int | None:
+    """First index of ``needle`` in ``clause`` outside quoted literals."""
+    start = 0
+    while True:
+        position = clause.find(needle, start)
+        if position == -1:
+            return None
+        if _outside_quotes(position, spans):
+            return position
+        start = position + 1
 
 
 def _literal(text: str) -> object:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.common.clock import SimClock
+from repro.common.stats import cache_stats
 from repro.storage.kv import KVEngine
 from repro.storage.pool import StoragePool
 from repro.table.commit import CommitFile
@@ -113,6 +114,10 @@ class AcceleratedMetadataStore(MetadataStore):
         self._pending: dict[str, list[CommitFile]] = {}
         self.flushes = 0
         self.flushed_commits = 0
+        #: commit manifests served from the KV write cache (hits) vs from
+        #: MetaFresher merged files on disk (misses) — reported alongside
+        #: the decoded-chunk cache via repro.common.stats.CACHES
+        self.read_stats = cache_stats("table.meta_cache")
 
     def record_commit(self, table_path: str, commit: CommitFile,
                       snapshot: Snapshot) -> float:
@@ -164,8 +169,11 @@ class AcceleratedMetadataStore(MetadataStore):
         # (constant per cached entry), merged files amortized: the flat
         # curve of Fig 15(a)
         kv_cost = 3 * 8e-6
+        cached = min(num_commits, self.pending_commits(table_path))
         merged_files = max(0, num_commits - self.pending_commits(table_path))
         merged_reads = -(-merged_files // self.flush_threshold) if merged_files else 0
+        self.read_stats.record_hit(cached)
+        self.read_stats.record_miss(merged_files)
         # each merged file holds ~flush_threshold commit manifests
         merged_bytes = max(4096, 512 * self.flush_threshold)
         per_file = self._pool.disks[0].profile.read_cost(merged_bytes)

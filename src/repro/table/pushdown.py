@@ -43,6 +43,16 @@ class AggregateSpec:
             needed.add(self.column)
         return needed
 
+    @property
+    def is_count_star(self) -> bool:
+        """True for a plain COUNT(*) with no grouping.
+
+        Such queries take the vectorized count path: the storage side
+        sums predicate masks per row group and never materializes a
+        single row dict.
+        """
+        return self.function == "COUNT" and not self.column and not self.group_by
+
 
 @dataclass
 class _Accumulator:

@@ -26,7 +26,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.errors import SchemaError
-from repro.table.expr import And, Expression, Predicate
+from repro.table.expr import And, Expression, Predicate, split_conjuncts
 from repro.table.pushdown import AggregateSpec
 from repro.table.table import Lakehouse, QueryStats, TableObject
 
@@ -101,7 +101,8 @@ def _parse_literal(text: str) -> object:
 
 def _parse_where(clause: str) -> Expression:
     atoms: list[Predicate] = []
-    for part in re.split(r"\s+AND\s+", clause, flags=re.IGNORECASE):
+    # quote-aware split: a literal like 'black and white' must not be cut
+    for part in split_conjuncts(clause):
         part = part.strip()
         match = re.match(
             r"^([A-Za-z_][\w]*)\s*(<=|>=|=|<|>|IN)\s*(.+)$",

@@ -32,6 +32,7 @@ from repro.storage.bus import DataBus
 from repro.storage.kv import KVEngine
 from repro.storage.pool import StoragePool
 from repro.table.catalog import Catalog, TableInfo
+from repro.table.chunkcache import ChunkCache, default_chunk_cache
 from repro.table.columnar import ColumnarFile, ROW_GROUP_SIZE
 from repro.table.commit import CommitFile, DataFileMeta
 from repro.table.expr import Expression
@@ -61,6 +62,8 @@ class QueryStats:
     bytes_transferred: int = 0
     metadata_cost_s: float = 0.0
     data_cost_s: float = 0.0
+    chunk_cache_hits: int = 0
+    chunk_cache_misses: int = 0
 
     @property
     def total_cost_s(self) -> float:
@@ -85,7 +88,8 @@ class TableObject:
     def __init__(self, info: TableInfo, catalog: Catalog, pool: StoragePool,
                  meta_store: MetadataStore, bus: DataBus, clock: SimClock,
                  row_group_size: int = ROW_GROUP_SIZE,
-                 commit_protocol_s: float = 0.0) -> None:
+                 commit_protocol_s: float = 0.0,
+                 chunk_cache: ChunkCache | None = None) -> None:
         self.info = info
         self._catalog = catalog
         self._pool = pool
@@ -93,6 +97,11 @@ class TableObject:
         self._bus = bus
         self._clock = clock
         self._row_group_size = row_group_size
+        #: decoded-chunk LRU shared across scans of this table (repeated
+        #: SELECTs stop re-decompressing the same zlib blobs)
+        self._chunk_cache = (
+            chunk_cache if chunk_cache is not None else default_chunk_cache()
+        )
         #: fixed cost of the ACID commit protocol (OCC validation + durable
         #: snapshot publish) — the "extra metadata management" that makes
         #: StreamLake slower than HDFS on tiny workloads (Section VII-B)
@@ -251,9 +260,14 @@ class TableObject:
             candidates.append(meta)
         rows: list[dict[str, object]] = []
         needed_columns = columns
+        count_star = aggregate is not None and aggregate.is_count_star
+        matched = 0
         if aggregate is not None:
             needed_columns = sorted(aggregate.columns()) or []
         read_costs: list[float] = []
+        cache = self._chunk_cache
+        hits_before = cache.stats.hits
+        misses_before = cache.stats.misses
         for meta in candidates:
             payload, read_cost = self._pool.fetch(meta.path)
             read_costs.append(read_cost)
@@ -265,16 +279,23 @@ class TableObject:
                     predicate
                 )
             stats.rows_scanned += data_file.num_rows
-            rows.extend(data_file.scan(predicate, needed_columns))
+            if count_star:
+                matched += data_file.count(predicate, cache=cache)
+            else:
+                rows.extend(data_file.scan(predicate, needed_columns, cache=cache))
+        stats.chunk_cache_hits += cache.stats.hits - hits_before
+        stats.chunk_cache_misses += cache.stats.misses - misses_before
         stats.data_cost_s += _parallel_read_time(read_costs, read_parallelism)
         if memory_budget_bytes is not None and not accelerated:
-            working = len(rows) * EXECUTION_BYTES_PER_ROW
+            working = (matched if count_star else len(rows)) * EXECUTION_BYTES_PER_ROW
             if working > memory_budget_bytes:
                 raise OutOfMemoryError(
                     f"{self.name}: execution working set {working} bytes "
                     f"exceeds budget {memory_budget_bytes}"
                 )
-        if aggregate is not None:
+        if count_star:
+            result = [{aggregate.function: matched}]
+        elif aggregate is not None:
             result = execute_pushdown(rows, aggregate)
         else:
             result = rows
@@ -304,7 +325,8 @@ class TableObject:
             cost += read_cost
             data_file = ColumnarFile.from_bytes(payload)
             survivors = [
-                row for row in data_file.scan() if not predicate.matches(row)
+                row for row in data_file.scan(cache=self._chunk_cache)
+                if not predicate.matches(row)
             ]
             if len(survivors) == data_file.num_rows:
                 continue  # statistics overlapped but nothing matched
@@ -342,7 +364,7 @@ class TableObject:
             data_file = ColumnarFile.from_bytes(payload)
             changed = False
             new_rows = []
-            for row in data_file.scan():
+            for row in data_file.scan(cache=self._chunk_cache):
                 if predicate.matches(row):
                     row = {**row, **set_values}
                     changed = True
@@ -399,7 +421,9 @@ class TableObject:
         for meta in live:
             payload, read_cost = self._pool.fetch(meta.path)
             cost += read_cost
-            rows.extend(ColumnarFile.from_bytes(payload).scan())
+            rows.extend(
+                ColumnarFile.from_bytes(payload).scan(cache=self._chunk_cache)
+            )
         new_meta, write_cost = self._write_data_file(partition, rows)
         cost += write_cost
         removed = [meta.path for meta in live]
@@ -439,10 +463,15 @@ class Lakehouse:
                  catalog_kv: KVEngine | None = None,
                  meta_store: MetadataStore | None = None,
                  row_group_size: int = ROW_GROUP_SIZE,
-                 commit_protocol_s: float = 0.0) -> None:
+                 commit_protocol_s: float = 0.0,
+                 chunk_cache: ChunkCache | None = None) -> None:
         self._pool = pool
         self._bus = bus
         self._clock = clock
+        #: decoded-chunk cache shared by every table in this lakehouse
+        self.chunk_cache = (
+            chunk_cache if chunk_cache is not None else default_chunk_cache()
+        )
         kv = catalog_kv if catalog_kv is not None else KVEngine("catalog", clock)
         self.catalog = Catalog(kv)
         self.meta_store = (
@@ -465,6 +494,7 @@ class Lakehouse:
         table = TableObject(
             info, self.catalog, self._pool, self.meta_store, self._bus,
             self._clock, self._row_group_size, self._commit_protocol_s,
+            chunk_cache=self.chunk_cache,
         )
         self._tables[name] = table
         return table

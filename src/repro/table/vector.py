@@ -1,0 +1,162 @@
+"""Typed column vectors for the vectorized scan engine.
+
+A :class:`ColumnVector` is one decoded column chunk kept in its typed
+in-memory form — an int64/float64/bool NumPy array with a validity mask,
+or dictionary-coded strings (distinct values + uint32 codes) — instead of
+a Python object list.  Predicates evaluate against vectors as single
+NumPy comparisons (:meth:`ColumnVector.compare`), and rows materialize to
+Python objects only for the indices that survive the predicate mask
+(:meth:`ColumnVector.take` — late materialization).
+
+Comparison semantics mirror row-wise :meth:`~repro.table.expr.Predicate.
+matches` exactly: null values never match, ``IN`` uses membership with
+Python ``==`` semantics, and ordering a column against an incomparable
+literal raises :class:`TypeError` (NumPy's ``UFuncTypeError`` is a
+``TypeError`` subclass, so callers can fall back to row-wise evaluation).
+"""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+
+_ORDER_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _scalar_compare(value: object, op: str, literal: object) -> bool:
+    """Python-semantics comparison of one non-null value (may raise)."""
+    if op == "=":
+        return value == literal
+    if op == "IN":
+        return value in literal  # type: ignore[operator]
+    return _ORDER_OPS[op](value, literal)
+
+
+class ColumnVector:
+    """One decoded column chunk in typed form."""
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def valid(self) -> np.ndarray:
+        """Boolean mask of non-null positions."""
+        raise NotImplementedError
+
+    def compare(self, op: str, literal: object) -> np.ndarray:
+        """Vectorized predicate mask; null positions are always False.
+
+        Raises :class:`TypeError` when the comparison is incomparable,
+        matching the row-wise evaluator.
+        """
+        raise NotImplementedError
+
+    def take(self, indices: np.ndarray) -> list[object]:
+        """Materialize Python objects at the given row indices."""
+        raise NotImplementedError
+
+    def to_list(self) -> list[object]:
+        """Materialize the whole chunk as Python objects."""
+        raise NotImplementedError
+
+
+class NumericVector(ColumnVector):
+    """INT64/TIMESTAMP, FLOAT64 or BOOL values with a validity mask."""
+
+    __slots__ = ("values", "_valid")
+
+    def __init__(self, values: np.ndarray, valid: np.ndarray) -> None:
+        self.values = values
+        self._valid = valid
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def valid(self) -> np.ndarray:
+        return self._valid
+
+    def compare(self, op: str, literal: object) -> np.ndarray:
+        if op == "IN":
+            # np.isin with non-numeric candidates silently returns False
+            # instead of using Python == semantics; filter to the numeric
+            # members (everything else can never equal a numeric value)
+            candidates = [
+                v for v in literal  # type: ignore[union-attr]
+                if isinstance(v, (bool, int, float))
+            ]
+            if not candidates:
+                return np.zeros(len(self.values), dtype=bool)
+            mask = np.isin(self.values, candidates)
+        elif op == "=":
+            mask = np.asarray(self.values == literal)
+        else:
+            if literal is None:
+                raise TypeError(f"ordering comparison {op!r} against None")
+            mask = np.asarray(_ORDER_OPS[op](self.values, literal))
+        if mask.shape != self.values.shape:
+            # NumPy collapsed an incompatible comparison to a scalar
+            mask = np.full(self.values.shape, bool(mask), dtype=bool)
+        return mask & self._valid
+
+    def take(self, indices: np.ndarray) -> list[object]:
+        values = self.values[indices].tolist()
+        valid = self._valid[indices].tolist()
+        return [v if ok else None for v, ok in zip(values, valid)]
+
+    def to_list(self) -> list[object]:
+        values = self.values.tolist()
+        valid = self._valid.tolist()
+        return [v if ok else None for v, ok in zip(values, valid)]
+
+
+class DictStringVector(ColumnVector):
+    """Dictionary-coded strings: distinct values + uint32 codes.
+
+    Nulls are the code ``len(dictionary)``.  Predicates evaluate once per
+    *distinct* value (Python semantics, so arbitrary literal types behave
+    exactly like the row-wise path), then broadcast through the codes —
+    the classic trick that makes low-cardinality columns nearly free to
+    filter.
+    """
+
+    __slots__ = ("dictionary", "codes")
+
+    def __init__(self, dictionary: list[object], codes: np.ndarray) -> None:
+        self.dictionary = dictionary
+        self.codes = codes
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def valid(self) -> np.ndarray:
+        return self.codes != len(self.dictionary)
+
+    def compare(self, op: str, literal: object) -> np.ndarray:
+        truth = np.empty(len(self.dictionary) + 1, dtype=bool)
+        for code, value in enumerate(self.dictionary):
+            truth[code] = _scalar_compare(value, op, literal)
+        truth[len(self.dictionary)] = False  # nulls never match
+        return truth[self.codes]
+
+    def take(self, indices: np.ndarray) -> list[object]:
+        dictionary = self.dictionary
+        null_code = len(dictionary)
+        return [
+            None if code == null_code else dictionary[code]
+            for code in self.codes[indices].tolist()
+        ]
+
+    def to_list(self) -> list[object]:
+        dictionary = self.dictionary
+        null_code = len(dictionary)
+        return [
+            None if code == null_code else dictionary[code]
+            for code in self.codes.tolist()
+        ]

@@ -111,3 +111,23 @@ def test_percentiles_monotone(values):
         assert upper >= lower - tolerance
     assert qs[0] == min(values)
     assert qs[-1] == max(values)
+
+
+def test_cache_stats_counters_and_hit_rate():
+    from repro.common.stats import CacheStats, cache_stats
+
+    stats = CacheStats()
+    assert stats.hit_rate == 0.0
+    stats.record_hit(3)
+    stats.record_miss()
+    stats.record_eviction(2)
+    assert stats.lookups == 4
+    assert stats.hit_rate == 0.75
+    assert stats.snapshot() == {
+        "hits": 3, "misses": 1, "evictions": 2, "hit_rate": 0.75,
+    }
+    stats.reset()
+    assert stats.lookups == 0
+
+    named = cache_stats("test.some_cache")
+    assert cache_stats("test.some_cache") is named

@@ -103,3 +103,25 @@ def test_threshold_boundary():
     bus = DataBus(SimClock())
     cost = bus.transfer(SMALL_IO_THRESHOLD)  # exactly at threshold: immediate
     assert cost > 0
+
+
+def test_pending_small_bytes_tracks_backlog():
+    bus = DataBus(SimClock())
+    assert bus.pending_small_bytes == 0
+    bus.transfer(10 * KiB)
+    bus.transfer(20 * KiB)
+    assert bus.pending_small_bytes == 30 * KiB
+    bus.flush_small_io()
+    assert bus.pending_small_bytes == 0
+    # the running total resets along with the backlog list
+    bus.transfer(5 * KiB)
+    assert bus.pending_small_bytes == 5 * KiB
+
+
+def test_pending_small_bytes_resets_on_automatic_flush():
+    bus = DataBus(SimClock())
+    pieces = AGGREGATION_TARGET // (32 * KiB)
+    for _ in range(pieces):
+        bus.transfer(32 * KiB)
+    assert bus.pending_small_bytes == 0
+    assert bus.aggregated_batches == 1

@@ -219,3 +219,70 @@ def test_dictionary_encoding_with_nulls():
     rows = [{"s": None if i % 3 == 0 else f"v{i % 2}"} for i in range(300)]
     data_file = ColumnarFile.from_rows(schema, rows)
     assert ColumnarFile.from_bytes(data_file.to_bytes()).scan() == rows
+
+
+# --- edge cases: encodings, nulls, truncation ---------------------------
+
+
+def test_all_none_string_column_roundtrip():
+    """All-null string chunk: the empty-dictionary encoding path."""
+    schema = Schema([Column("s", ColumnType.STRING, nullable=True)])
+    rows = [{"s": None}] * 25
+    data_file = ColumnarFile.from_rows(schema, rows, row_group_size=10)
+    restored = ColumnarFile.from_bytes(data_file.to_bytes())
+    assert restored.scan() == rows
+    assert restored.scan_rows() == rows
+    assert restored.count(Predicate("s", "=", "anything")) == 0
+
+
+def test_mixed_cardinality_selects_encoding_per_chunk():
+    """Per-chunk encoding choice: one low-cardinality group dictionary-
+    encodes while a high-cardinality group of the same column stays
+    plain — and both scan identically."""
+    schema = Schema([
+        Column("k", ColumnType.INT64),
+        Column("s", ColumnType.STRING, nullable=True),
+    ])
+    low = [{"k": i, "s": f"v{i % 2}"} for i in range(50)]
+    high = [{"k": 50 + i, "s": f"unique-string-value-{i}"} for i in range(50)]
+    rows = low + high
+    data_file = ColumnarFile.from_rows(schema, rows, row_group_size=50)
+    restored = ColumnarFile.from_bytes(data_file.to_bytes())
+    assert restored.scan() == rows
+    predicate = Predicate("s", "IN", ("v1", "unique-string-value-7"))
+    assert restored.scan(predicate) == restored.scan_rows(predicate)
+    assert restored.count(predicate) == 25 + 1
+
+
+def test_roundtrip_with_nulls_in_every_column_type():
+    schema = Schema([
+        Column("i", ColumnType.INT64, nullable=True),
+        Column("f", ColumnType.FLOAT64, nullable=True),
+        Column("s", ColumnType.STRING, nullable=True),
+        Column("b", ColumnType.BOOL, nullable=True),
+        Column("t", ColumnType.TIMESTAMP, nullable=True),
+    ])
+    rows = [
+        {"i": None, "f": None, "s": None, "b": None, "t": None},
+        {"i": -5, "f": 2.5, "s": "x", "b": True, "t": 99},
+        {"i": 0, "f": None, "s": None, "b": False, "t": None},
+        {"i": None, "f": -0.5, "s": "", "b": None, "t": 0},
+    ] * 6
+    data_file = ColumnarFile.from_rows(schema, rows, row_group_size=5)
+    restored = ColumnarFile.from_bytes(data_file.to_bytes())
+    assert restored.scan() == rows
+    assert restored.scan_rows() == rows
+
+
+def test_truncated_footer_raises():
+    blob = ColumnarFile.from_rows(SCHEMA, make_rows(10)).to_bytes()
+    with pytest.raises(CorruptionError):
+        ColumnarFile.from_bytes(blob[:2])  # shorter than the length header
+
+
+def test_truncated_mid_chunk_raises():
+    data_file = ColumnarFile.from_rows(SCHEMA, make_rows(30), row_group_size=10)
+    blob = data_file.to_bytes()
+    for cut in (len(blob) - 1, len(blob) // 2 + 8):
+        with pytest.raises(CorruptionError):
+            ColumnarFile.from_bytes(blob[:cut])

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.stream.config import ConvertToTableConfig, TopicConfig
 from repro.stream.producer import Producer

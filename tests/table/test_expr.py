@@ -164,3 +164,38 @@ def test_conjunction_skipping_soundness(rows, op_a, lit_a, op_b, lit_b):
     }
     if any(expression.matches({"a": a, "b": b}) for a, b in rows):
         assert expression.possibly_matches(stats)
+
+
+# --- parse_predicate: quoted literals, operator substrings, IN ----------
+
+
+def test_parse_quoted_literal_containing_and():
+    expression = parse_predicate("title = 'black and white' and year >= 1999")
+    atoms = expression.atoms()
+    assert len(atoms) == 2
+    assert atoms[0] == Predicate("title", "=", "black and white")
+    assert atoms[1] == Predicate("year", ">=", 1999)
+
+
+def test_parse_quoted_literal_containing_operator_substring():
+    expression = parse_predicate("note = 'a <= b'")
+    assert expression == Predicate("note", "=", "a <= b")
+    expression = parse_predicate("note = 'x > y' and k < 3")
+    assert expression.atoms()[0] == Predicate("note", "=", "x > y")
+
+
+def test_parse_double_quoted_and_literal():
+    expression = parse_predicate('tag = "rock and roll"')
+    assert expression == Predicate("tag", "=", "rock and roll")
+
+
+def test_parse_in_clause_raises_explicitly():
+    with pytest.raises(ValueError, match="IN is not supported"):
+        parse_predicate("province IN (11, 12)")
+    with pytest.raises(ValueError, match="IN is not supported"):
+        parse_predicate("url in ('a')")
+
+
+def test_parse_literal_containing_in_word_still_parses():
+    expression = parse_predicate("city = 'berlin in winter'")
+    assert expression == Predicate("city", "=", "berlin in winter")

@@ -1,0 +1,214 @@
+"""Vectorized scan engine: equivalence with the row-wise oracle + cache.
+
+The load-bearing property: on randomized schemas, rows and predicate
+trees, ``ColumnarFile.scan`` (NumPy masks + late materialization) returns
+results identical — same objects, same Python types, same order — to
+``ColumnarFile.scan_rows`` (the seed's row-at-a-time path), and
+``count`` equals the oracle's matching-row count.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.stats import CACHES
+from repro.table.chunkcache import ChunkCache, configure_chunk_cache
+from repro.table.columnar import ColumnarFile
+from repro.table.expr import And, Or, Predicate
+from repro.table.schema import Column, ColumnType, Schema
+
+COLUMN_POOL = [
+    Column("i", ColumnType.INT64, nullable=True),
+    Column("f", ColumnType.FLOAT64, nullable=True),
+    Column("s", ColumnType.STRING, nullable=True),
+    Column("b", ColumnType.BOOL, nullable=True),
+    Column("t", ColumnType.TIMESTAMP, nullable=True),
+]
+
+_VALUE_STRATEGIES = {
+    "i": st.one_of(st.none(), st.integers(-1000, 1000)),
+    "f": st.one_of(
+        st.none(),
+        st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+    ),
+    "s": st.one_of(st.none(), st.sampled_from(["ab", "cd", "ef", "and", "x <= y"])),
+    "b": st.one_of(st.none(), st.booleans()),
+    "t": st.one_of(st.none(), st.integers(0, 10_000)),
+}
+
+# literals matched to each column's type, plus = / IN against wrong types
+# (equality never raises, so the fallback stays deterministic)
+_TYPED_LITERALS = {
+    "i": st.integers(-1000, 1000),
+    "f": st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+    "s": st.sampled_from(["ab", "cd", "zz", ""]),
+    "b": st.booleans(),
+    "t": st.integers(0, 10_000),
+}
+
+
+@st.composite
+def _atoms(draw, names):
+    column = draw(st.sampled_from(names))
+    op = draw(st.sampled_from(["<=", ">=", "<", ">", "=", "IN"]))
+    if op in ("=", "IN"):
+        # sometimes a literal of the wrong type: exercises the
+        # incomparable-equality path (always False, never raising)
+        literal_strategy = st.one_of(
+            _TYPED_LITERALS[column], st.sampled_from(["mismatch", 123456])
+        )
+    else:
+        literal_strategy = _TYPED_LITERALS[column]
+    if op == "IN":
+        literal = tuple(draw(st.lists(literal_strategy, min_size=0, max_size=4)))
+    else:
+        literal = draw(literal_strategy)
+    return Predicate(column, op, literal)
+
+
+def _expressions(names):
+    return st.recursive(
+        _atoms(names),
+        lambda children: st.one_of(
+            st.lists(children, min_size=0, max_size=3).map(lambda c: And(*c)),
+            st.lists(children, min_size=0, max_size=3).map(lambda c: Or(*c)),
+        ),
+        max_leaves=6,
+    )
+
+
+@st.composite
+def _tables(draw):
+    columns = draw(
+        st.lists(st.sampled_from(COLUMN_POOL), min_size=1, max_size=5,
+                 unique_by=lambda c: c.name)
+    )
+    schema = Schema(columns)
+    rows = draw(
+        st.lists(
+            st.fixed_dictionaries(
+                {c.name: _VALUE_STRATEGIES[c.name] for c in columns}
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    group_size = draw(st.integers(1, 20))
+    return schema, rows, group_size
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=_tables(), data=st.data())
+def test_scan_matches_row_wise_oracle(table, data):
+    schema, rows, group_size = table
+    data_file = ColumnarFile.from_rows(schema, rows, row_group_size=group_size)
+    predicate = data.draw(_expressions(schema.names))
+    projection = data.draw(
+        st.lists(st.sampled_from(schema.names), max_size=len(schema.names),
+                 unique=True)
+    )
+    cache = ChunkCache(capacity=8)
+    expected = data_file.scan_rows(predicate, projection)
+    actual = data_file.scan(predicate, projection, cache=cache)
+    # repr-compare too: catches NumPy scalars leaking instead of int/float
+    assert actual == expected
+    assert repr(actual) == repr(expected)
+    assert data_file.count(predicate, cache=cache) == len(
+        data_file.scan_rows(predicate, [])
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=_tables())
+def test_full_scan_and_count_without_predicate(table):
+    schema, rows, group_size = table
+    data_file = ColumnarFile.from_rows(schema, rows, row_group_size=group_size)
+    assert data_file.scan(cache=ChunkCache()) == data_file.scan_rows()
+    assert data_file.count() == len(rows)
+
+
+def _int_string_file():
+    schema = Schema([
+        Column("k", ColumnType.INT64),
+        Column("s", ColumnType.STRING, nullable=True),
+    ])
+    rows = [
+        {"k": index, "s": None if index % 3 == 0 else f"v{index % 4}"}
+        for index in range(40)
+    ]
+    return ColumnarFile.from_rows(schema, rows, row_group_size=10), rows
+
+
+def test_incomparable_ordering_raises_like_oracle():
+    data_file, _ = _int_string_file()
+    predicate = Predicate("k", "<", "not-an-int")
+    with pytest.raises(TypeError):
+        data_file.scan_rows(predicate)
+    with pytest.raises(TypeError):
+        data_file.scan(predicate, cache=ChunkCache())
+    predicate = Predicate("s", ">", 7)  # string column vs int literal
+    with pytest.raises(TypeError):
+        data_file.scan_rows(predicate)
+    with pytest.raises(TypeError):
+        data_file.scan(predicate, cache=ChunkCache())
+
+
+def test_all_null_chunk_ordered_against_string_is_empty_not_error():
+    schema = Schema([Column("i", ColumnType.INT64, nullable=True)])
+    data_file = ColumnarFile.from_rows(schema, [{"i": None}] * 5)
+    predicate = Predicate("i", "<", "zz")
+    assert data_file.scan_rows(predicate) == []
+    assert data_file.scan(predicate, cache=ChunkCache()) == []
+
+
+def test_in_against_mixed_type_tuple():
+    data_file, rows = _int_string_file()
+    predicate = Predicate("k", "IN", (3, "v1", 7.0, None))
+    cache = ChunkCache()
+    assert data_file.scan(predicate, cache=cache) == data_file.scan_rows(predicate)
+    assert data_file.count(predicate, cache=cache) == 2  # k == 3 and k == 7
+
+
+# --- decoded-chunk cache ------------------------------------------------
+
+
+def test_chunk_cache_hits_on_repeated_scans():
+    data_file, _ = _int_string_file()
+    cache = ChunkCache(capacity=32)
+    predicate = Predicate("k", ">=", 20)
+    data_file.scan(predicate, cache=cache)
+    assert cache.stats.misses > 0
+    misses_after_first = cache.stats.misses
+    hits_after_first = cache.stats.hits
+    data_file.scan(predicate, cache=cache)
+    assert cache.stats.misses == misses_after_first  # fully served from cache
+    assert cache.stats.hits > hits_after_first
+
+
+def test_chunk_cache_survives_serialization_roundtrip():
+    data_file, _ = _int_string_file()
+    cache = ChunkCache(capacity=32)
+    data_file.scan(cache=cache)
+    misses = cache.stats.misses
+    # same bytes, fresh object: content-addressed keys still hit
+    restored = ColumnarFile.from_bytes(data_file.to_bytes())
+    restored.scan(cache=cache)
+    assert cache.stats.misses == misses
+
+
+def test_chunk_cache_is_bounded_lru():
+    data_file, _ = _int_string_file()  # 4 groups x 2 columns = 8 chunks
+    cache = ChunkCache(capacity=3)
+    data_file.scan(cache=cache)
+    assert len(cache) == 3
+    assert cache.stats.evictions == 5
+
+
+def test_chunk_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        ChunkCache(capacity=0)
+
+
+def test_configure_default_cache_registers_stats():
+    cache = configure_chunk_cache(64)
+    assert cache.capacity == 64
+    assert CACHES["table.chunk_cache"] is cache.stats

@@ -1,7 +1,6 @@
 """Property tests for the SQL front end: parsed queries agree with the
 direct select() API on randomized data and predicates."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.clock import SimClock

@@ -280,3 +280,42 @@ def test_parallel_read_validation(table):
     table.insert(rows_for(4))
     with pytest.raises(ValueError):
         table.select(read_parallelism=0)
+
+
+def test_count_star_fast_path_matches_general_aggregate(table):
+    table.insert(rows_for(40))
+    predicate = Predicate("value", ">=", 10)
+    fast = table.select(predicate=predicate, aggregate=AggregateSpec("COUNT"))
+    # grouped COUNT goes through the general pushdown path; summing its
+    # groups must agree with the vectorized count
+    grouped = table.select(
+        predicate=predicate,
+        aggregate=AggregateSpec("COUNT", group_by=("city",)),
+    )
+    assert fast == [{"COUNT": 30}]
+    assert sum(row["COUNT"] for row in grouped) == 30
+    empty = table.select(
+        predicate=Predicate("value", ">", 10_000),
+        aggregate=AggregateSpec("COUNT"),
+    )
+    assert empty == [{"COUNT": 0}]
+
+
+def test_query_stats_report_chunk_cache_traffic(lakehouse):
+    from repro.table.chunkcache import ChunkCache
+
+    # isolate from the process-wide cache: keys are content-addressed, so
+    # identical rows inserted by another test would otherwise already hit
+    lakehouse.chunk_cache = ChunkCache()
+    table = lakehouse.create_table(
+        "events_cached", SCHEMA, PartitionSpec.by("city")
+    )
+    table.insert(rows_for(40))
+    predicate = Predicate("value", ">=", 0)
+    first = QueryStats()
+    table.select(predicate=predicate, stats=first)
+    assert first.chunk_cache_misses > 0
+    second = QueryStats()
+    table.select(predicate=predicate, stats=second)
+    assert second.chunk_cache_misses == 0
+    assert second.chunk_cache_hits > 0
