@@ -40,14 +40,31 @@ def unframe(data: bytes) -> bytes:
 
 
 def frames(data: bytes) -> list[bytes]:
-    """Split a concatenation of frames back into payloads."""
+    """Split a concatenation of frames back into payloads.
+
+    Zero-copy validation: each payload's CRC is checked against a
+    ``memoryview`` at its offset, so the only copy per frame is the
+    returned payload itself (the seed sliced every frame into a throwaway
+    intermediate before :func:`unframe` sliced it again).
+    """
+    view = memoryview(data)
+    total = len(data)
+    header_size = _HEADER.size
     payloads = []
     cursor = 0
-    while cursor < len(data):
-        if cursor + _HEADER.size > len(data):
+    while cursor < total:
+        if cursor + header_size > total:
             raise CorruptionError("trailing bytes shorter than a frame header")
-        length, _ = _HEADER.unpack_from(data, cursor)
-        end = cursor + _HEADER.size + length
-        payloads.append(unframe(data[cursor:end]))
+        length, crc = _HEADER.unpack_from(data, cursor)
+        start = cursor + header_size
+        end = start + length
+        if end > total:
+            raise CorruptionError(
+                f"frame truncated: header says {length} bytes, "
+                f"got {total - start}"
+            )
+        if zlib.crc32(view[start:end]) != crc:
+            raise CorruptionError("frame checksum mismatch")
+        payloads.append(data[start:end])
         cursor = end
     return payloads

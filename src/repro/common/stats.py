@@ -56,6 +56,57 @@ class CacheStats:
         }
 
 
+class IngestStats:
+    """Counters for the stream ingestion path (produce -> seal -> EC).
+
+    The global :data:`INGEST` instance is incremented by the stream object
+    seal path and the Reed-Solomon codec; ``bench_ingest.py`` surfaces a
+    snapshot the way ``QueryStats`` surfaces cache hits.
+    """
+
+    def __init__(self) -> None:
+        self.records_appended = 0
+        self.slices_sealed = 0
+        self.bytes_encoded = 0        # slice bytes before compression
+        self.bytes_compressed = 0     # slice bytes handed to the PLogs
+        self.plog_group_commits = 0   # append_batch calls (group commits)
+        self.ec_encode_calls = 0      # ReedSolomon.encode/encode_batch calls
+        self.ec_payloads_encoded = 0  # payloads erasure-coded in those calls
+        self.legacy_slices_decoded = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Pre-compression bytes per stored byte (1.0 when nothing sealed)."""
+        if not self.bytes_compressed:
+            return 1.0
+        return self.bytes_encoded / self.bytes_compressed
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "records_appended": self.records_appended,
+            "slices_sealed": self.slices_sealed,
+            "bytes_encoded": self.bytes_encoded,
+            "bytes_compressed": self.bytes_compressed,
+            "compression_ratio": self.compression_ratio,
+            "plog_group_commits": self.plog_group_commits,
+            "ec_encode_calls": self.ec_encode_calls,
+            "ec_payloads_encoded": self.ec_payloads_encoded,
+            "legacy_slices_decoded": self.legacy_slices_decoded,
+        }
+
+
+#: Global ingest-path counters (see :class:`IngestStats`).
+INGEST = IngestStats()
+
+
+def ingest_stats() -> IngestStats:
+    """Return the global ingest counters."""
+    return INGEST
+
+
 #: Registry of named cache counters (e.g. "table.chunk_cache").
 CACHES: dict[str, CacheStats] = {}
 

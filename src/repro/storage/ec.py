@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common import stats
 from repro.errors import UnrecoverableDataError
 
 _PRIMITIVE_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1
@@ -47,6 +48,17 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 
 
 _EXP, _LOG = _build_tables()
+
+# Padded log/exp pair for branch-free vectorized products: log(0) maps to
+# 512, and the exp table's tail is zero, so any sum involving a zero
+# operand (>= 512) looks up 0 without a mask pass.  Valid nonzero sums are
+# at most 254 + 254 = 508.
+_LOG_PAD = _LOG.astype(np.int32).copy()
+_LOG_PAD[0] = 512
+_EXP_PAD = np.zeros(1025, dtype=np.uint8)
+_EXP_PAD[:510] = _EXP[:510]
+#: full GF(2^8) product table (256 x 256, 64 KiB): _MUL[a, b] = a * b
+_MUL = _EXP_PAD[_LOG_PAD[:, None] + _LOG_PAD[None, :]]
 
 
 def gf_mul(a: int, b: int) -> int:
@@ -73,18 +85,18 @@ def gf_pow(a: int, n: int) -> int:
 
 
 def _vec_mul(scalar: int, vector: np.ndarray) -> np.ndarray:
-    """scalar * vector over GF(2^8), vectorized via the log/exp tables."""
-    if scalar == 0:
-        return np.zeros_like(vector)
-    log_s = _LOG[scalar]
-    out = np.zeros_like(vector)
-    nonzero = vector != 0
-    out[nonzero] = _EXP[log_s + _LOG[vector[nonzero]]]
-    return out
+    """scalar * vector over GF(2^8): one gather from the product table."""
+    return _MUL[scalar][vector]
 
 
-def _matrix_invert(matrix: np.ndarray) -> np.ndarray:
-    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination."""
+def _matrix_invert(matrix: np.ndarray,
+                   shard_set: list[int] | None = None) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    ``shard_set`` names the shard rows the matrix was gathered from; a
+    singular matrix then reports exactly which shard combination failed
+    instead of surfacing a bare ``ZeroDivisionError`` from ``gf_inv(0)``.
+    """
     size = matrix.shape[0]
     work = matrix.astype(np.uint8).copy()
     inverse = np.eye(size, dtype=np.uint8)
@@ -93,7 +105,14 @@ def _matrix_invert(matrix: np.ndarray) -> np.ndarray:
             (row for row in range(col, size) if work[row, col] != 0), None
         )
         if pivot_row is None:
-            raise UnrecoverableDataError("singular decode matrix (too many erasures)")
+            detail = (
+                f" (gathered from shards {shard_set})"
+                if shard_set is not None else ""
+            )
+            raise UnrecoverableDataError(
+                f"singular decode matrix at column {col}: the surviving "
+                f"shard set cannot reconstruct the data{detail}"
+            )
         if pivot_row != col:
             work[[col, pivot_row]] = work[[pivot_row, col]]
             inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
@@ -109,17 +128,32 @@ def _matrix_invert(matrix: np.ndarray) -> np.ndarray:
     return inverse
 
 
+#: cap on the (rows * k * block) broadcast temporary of one _matmul step
+_MATMUL_BLOCK_ELEMS = 1 << 23
+
+
 def _matmul(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
-    """(rows x k) matrix times (k x length) shard block over GF(2^8)."""
+    """(rows x k) matrix times (k x length) shard block over GF(2^8).
+
+    A single product-table broadcast replaces the seed's per-(row, col)
+    Python loop: ``_MUL[matrix[:, :, None], shards[None, :, :]]`` gathers
+    every (row, col) scalar-vector product at once (the table bakes the
+    log/exp arithmetic, zero operands included), and an XOR reduction over
+    the ``k`` axis sums them.  The shard-length axis is blocked so the
+    (rows, k, block) intermediate stays bounded for multi-MB shards.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+    shards = np.ascontiguousarray(shards, dtype=np.uint8)
     rows, k = matrix.shape
-    out = np.zeros((rows, shards.shape[1]), dtype=np.uint8)
-    for row in range(rows):
-        acc = out[row]
-        for col in range(k):
-            coeff = int(matrix[row, col])
-            if coeff:
-                acc ^= _vec_mul(coeff, shards[col])
-        out[row] = acc
+    length = shards.shape[1]
+    out = np.empty((rows, length), dtype=np.uint8)
+    if rows == 0 or length == 0:
+        return out
+    block = max(1, _MATMUL_BLOCK_ELEMS // max(1, rows * k))
+    for start in range(0, length, block):
+        segment = shards[:, start:start + block]     # (k, b)
+        products = _MUL[matrix[:, :, None], segment[None, :, :]]
+        out[:, start:start + block] = np.bitwise_xor.reduce(products, axis=1)
     return out
 
 
@@ -166,20 +200,54 @@ class ReedSolomon:
         """Per-shard byte length for a payload of ``data_length`` bytes."""
         return -(-data_length // self.k)  # ceil division
 
+    def _data_block(self, data: bytes) -> np.ndarray:
+        length = self.shard_length(len(data))
+        padded = np.zeros(length * self.k, dtype=np.uint8)
+        padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        return padded.reshape(self.k, length)
+
     def encode(self, data: bytes) -> list[bytes]:
         """Split ``data`` into k shards, append m parity shards.
 
         The payload is zero-padded to a multiple of k; callers must remember
         the original length for :meth:`decode`.
         """
-        length = self.shard_length(len(data))
-        padded = np.zeros(length * self.k, dtype=np.uint8)
-        padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
-        data_block = padded.reshape(self.k, length)
+        ingest = stats.ingest_stats()
+        ingest.ec_encode_calls += 1
+        ingest.ec_payloads_encoded += 1
+        data_block = self._data_block(data)
         parity_block = _matmul(self.matrix[self.k :], data_block)
         shards = [data_block[i].tobytes() for i in range(self.k)]
         shards.extend(parity_block[i].tobytes() for i in range(self.m))
         return shards
+
+    def encode_batch(self, payloads: list[bytes]) -> list[list[bytes]]:
+        """Encode many payloads with one parity matmul.
+
+        The per-payload data blocks (each ``(k, shard_len_i)``) are stacked
+        along the shard-length axis into one ``(k, sum(shard_len_i))``
+        matrix, so N slice seals pay for one broadcast setup instead of N.
+        Shard lengths per payload are identical to per-payload
+        :meth:`encode`.
+        """
+        if not payloads:
+            return []
+        ingest = stats.ingest_stats()
+        ingest.ec_encode_calls += 1
+        ingest.ec_payloads_encoded += len(payloads)
+        blocks = [self._data_block(payload) for payload in payloads]
+        stacked = blocks[0] if len(blocks) == 1 else np.hstack(blocks)
+        parity_all = _matmul(self.matrix[self.k :], stacked)
+        out: list[list[bytes]] = []
+        cursor = 0
+        for block in blocks:
+            length = block.shape[1]
+            parity = parity_all[:, cursor:cursor + length]
+            shards = [block[i].tobytes() for i in range(self.k)]
+            shards.extend(parity[i].tobytes() for i in range(self.m))
+            out.append(shards)
+            cursor += length
+        return out
 
     def decode(self, shards: list[bytes | None], data_length: int) -> bytes:
         """Recover the original payload from any >= k surviving shards.
@@ -192,8 +260,11 @@ class ReedSolomon:
             )
         survivors = [i for i, shard in enumerate(shards) if shard is not None]
         if len(survivors) < self.k:
+            lost = [i for i in range(self.k + self.m) if shards[i] is None]
             raise UnrecoverableDataError(
-                f"only {len(survivors)} shards survive, need {self.k}"
+                f"only {len(survivors)} shards survive, need {self.k}: "
+                f"lost shards {lost} exceed the {self.m} erasures "
+                f"RS({self.k}+{self.m}) tolerates"
             )
         chosen = survivors[: self.k]
         if chosen == list(range(self.k)):
@@ -207,7 +278,7 @@ class ReedSolomon:
         )
         if sub_shards.shape[1] != length:
             raise ValueError("surviving shards have inconsistent lengths")
-        decode_matrix = _matrix_invert(sub_matrix)
+        decode_matrix = _matrix_invert(sub_matrix, shard_set=chosen)
         recovered = _matmul(decode_matrix, sub_shards)
         return recovered.reshape(-1).tobytes()[:data_length]
 

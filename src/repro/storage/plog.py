@@ -117,6 +117,34 @@ class PLogManager:
         self.bytes_appended += len(payload)
         return address, cost
 
+    def append_batch(
+        self, items: list[tuple[str, bytes]]
+    ) -> tuple[list[PLogAddress], float]:
+        """Group-commit several payloads: reserve all addresses, store the
+        extents through one :meth:`StoragePool.store_batch` call (one EC
+        encode for the whole group), then index the keys.
+
+        Returns (addresses in input order, simulated seconds).
+        """
+        if not items:
+            return [], 0.0
+        placements: list[tuple[str, bytes, PLogAddress]] = []
+        for key, payload in items:
+            shard = shard_of(key, self.num_shards)
+            unit, offset = self._unit_for(shard, len(payload))
+            placements.append(
+                (key, payload, PLogAddress(shard, unit.generation, offset))
+            )
+        cost = self.pool.store_batch(
+            [(address.extent_id(), payload) for _, payload, address in placements]
+        )
+        index_put = self.index.put
+        for key, payload, address in placements:
+            index_put(f"addr/{key}", address.extent_id())
+            self.bytes_appended += len(payload)
+        self.appends += len(placements)
+        return [address for *_, address in placements], cost
+
     def read(self, address: PLogAddress) -> tuple[bytes, float]:
         """Read a payload back by address."""
         return self.pool.fetch(address.extent_id())

@@ -111,9 +111,27 @@ class StoragePool:
         the simulated seconds of the slowest fragment write (fragments are
         written in parallel on different devices).
         """
+        return self._place(extent_id, payload, self.policy.fragment(payload))
+
+    def store_batch(self, items: list[tuple[str, bytes]]) -> float:
+        """Group-commit several extents: one policy ``fragment_batch`` call
+        (amortizing EC matrix setup), then per-extent placement.
+
+        Returns the summed simulated seconds (extents land back-to-back;
+        fragments within an extent still write in parallel).
+        """
+        fragments_per = self.policy.fragment_batch(
+            [payload for _, payload in items]
+        )
+        total = 0.0
+        for (extent_id, payload), fragments in zip(items, fragments_per):
+            total += self._place(extent_id, payload, fragments)
+        return total
+
+    def _place(self, extent_id: str, payload: bytes,
+               fragments: list[bytes]) -> float:
         if extent_id in self._extents and not self._extents[extent_id].tombstoned:
             raise ValueError(f"extent {extent_id!r} already stored")
-        fragments = self.policy.fragment(payload)
         candidates = sorted(self._alive_disks(), key=lambda d: d.used_bytes)
         if len(candidates) < len(fragments):
             raise CapacityError(

@@ -31,6 +31,14 @@ class RedundancyPolicy(ABC):
     def fragment(self, payload: bytes) -> list[bytes]:
         """Split/copy ``payload`` into ``width`` fragments."""
 
+    def fragment_batch(self, payloads: list[bytes]) -> list[list[bytes]]:
+        """Fragment many payloads at once (group commit).
+
+        The default just loops; policies with per-call setup cost (erasure
+        coding) override this to amortize it across the batch.
+        """
+        return [self.fragment(payload) for payload in payloads]
+
     @abstractmethod
     def assemble(self, fragments: list[bytes | None], length: int) -> bytes:
         """Recover the payload from surviving fragments (None = lost)."""
@@ -61,6 +69,9 @@ def erasure_coding_policy(data_shards: int, parity_shards: int) -> RedundancyPol
 
         def fragment(self, payload: bytes) -> list[bytes]:
             return self._codec.encode(payload)
+
+        def fragment_batch(self, payloads: list[bytes]) -> list[list[bytes]]:
+            return self._codec.encode_batch(payloads)
 
         def assemble(self, fragments: list[bytes | None], length: int) -> bytes:
             return self._codec.decode(fragments, length)

@@ -27,16 +27,22 @@ from __future__ import annotations
 
 import itertools
 import zlib
+from bisect import bisect_right
 from dataclasses import dataclass
 
+from repro.common import stats
 from repro.common.clock import SimClock
 from repro.errors import InvalidOffsetError, ObjectNotFoundError
 from repro.storage.plog import PLogManager
 from repro.stream.records import (
     RECORDS_PER_SLICE,
     MessageRecord,
+    PackedRecordBatch,
     decode_slice,
+    decode_slice_full,
     encode_slice,
+    encode_slice_legacy,
+    repack_slices,
 )
 
 
@@ -58,19 +64,71 @@ class _SliceInfo:
     plog_key: str
 
 
+def _run_lookup(state: list[list[int]], sequence: int) -> int | None:
+    """Offset at which ``sequence`` was applied, or None if unseen.
+
+    ``state`` is the per-producer list of ``[first_sequence, first_offset,
+    count]`` runs sorted by first_sequence; offsets within a run track the
+    sequences one-to-one.
+    """
+    i = bisect_right(state, sequence, key=lambda run: run[0]) - 1
+    if i >= 0:
+        run = state[i]
+        if sequence < run[0] + run[2]:
+            return run[1] + (sequence - run[0])
+    return None
+
+
+def _run_insert(state: list[list[int]], run: list[int]) -> None:
+    """Insert a new run keeping the state sorted by first sequence."""
+    state.insert(bisect_right(state, run[0], key=lambda r: r[0]), run)
+
+
+@dataclass
+class _Segment:
+    """A record range of a producer-packed buffer sitting in the open slice.
+
+    Packed batches are buffered as-is — the stream object never decodes
+    them on the write path.  ``start``/``stop`` are record indices into
+    the packed buffer.
+    """
+
+    data: bytes
+    start: int
+    stop: int
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+
 class StreamObject:
     """One partition's append-only record log backed by PLogs."""
 
     def __init__(self, object_id: str, plogs: PLogManager, clock: SimClock,
-                 redundancy: str = "ec") -> None:
+                 redundancy: str = "ec", codec: str = "binary") -> None:
+        if codec not in ("binary", "legacy"):
+            raise ValueError(f"codec must be 'binary' or 'legacy', got {codec!r}")
         self.object_id = object_id
         self.redundancy = redundancy
+        self.codec = codec
         self._plogs = plogs
         self._clock = clock
         self._sealed: list[_SliceInfo] = []
-        self._open: list[MessageRecord] = []
+        #: open-slice buffer: MessageRecord and _Segment items, in offset
+        #: order.  Records are stamped lazily (see read); segments are
+        #: materialized only if the open slice is actually read.
+        self._open: list[MessageRecord | _Segment] = []
+        self._open_count = 0
+        self._open_segments = 0
+        #: offset of the first record buffered in _open
+        self._open_base = 0
         self._next_offset = 0
-        self._producer_state: dict[str, dict[int, int]] = {}
+        #: idempotence state per producer: sorted runs of consecutively
+        #: applied sequences, each ``[first_sequence, first_offset, count]``
+        #: — one entry per contiguous run instead of one dict entry per
+        #: record, so batch appends record a whole batch in O(1)
+        self._producer_state: dict[str, list[list[int]]] = {}
         self._committed_txns: set[str] = set()
         self._aborted_txns: set[str] = set()
         self.records_appended = 0
@@ -84,66 +142,236 @@ class StreamObject:
         """Offset the next appended record will receive."""
         return self._next_offset
 
-    def append(self, records: list[MessageRecord]) -> tuple[int, float]:
+    def append(
+        self, records: list[MessageRecord] | PackedRecordBatch
+    ) -> tuple[int, float]:
         """Append records, returning (start offset, simulated seconds).
 
         Duplicates (same producer_id + sequence) are skipped; if *all*
         records are duplicates, the original first offset is returned.
+
+        A :class:`PackedRecordBatch` takes the zero-materialization path:
+        the pre-encoded buffer is deduplicated and sliced as a whole.  A
+        record list runs through one pass with the producer-state lookups
+        hoisted out of the loop.  Either way, every slice the batch fills
+        is sealed in a single group commit (one PLog append_batch, one EC
+        encode) at the end.
         """
+        if isinstance(records, PackedRecordBatch):
+            return self._append_packed(records)
         if not records:
             raise ValueError("append requires at least one record")
         start = self._next_offset
         first_offset: int | None = None
-        cost = 0.0
+        producer_state = self._producer_state
+        open_items = self._open
+        open_base = self._open_base
+        open_count = self._open_count
+        next_offset = self._next_offset
+        appended = 0
+        appended_bytes = 0
+        full_slices: list[tuple[int, list[MessageRecord | _Segment]]] = []
         for record in records:
-            existing = self._dedupe_offset(record)
-            if existing is not None:
-                if first_offset is None:
-                    first_offset = existing
-                continue
-            stamped = record.with_offset(self._next_offset)
+            pid = record.producer_id
+            sequence = record.sequence
+            if pid and sequence >= 0:
+                state = producer_state.get(pid)
+                if state is None:
+                    producer_state[pid] = [[sequence, next_offset, 1]]
+                else:
+                    last = state[-1]
+                    if (sequence == last[0] + last[2]
+                            and next_offset == last[1] + last[2]):
+                        # the expected next sequence extends the run
+                        last[2] += 1
+                    else:
+                        existing = _run_lookup(state, sequence)
+                        if existing is not None:
+                            if first_offset is None:
+                                first_offset = existing
+                            continue
+                        _run_insert(state, [sequence, next_offset, 1])
             if first_offset is None:
-                first_offset = self._next_offset
-            self._open.append(stamped)
-            self._remember_producer(stamped)
-            self._next_offset += 1
-            self.records_appended += 1
-            self.bytes_appended += stamped.size_bytes
-            if len(self._open) >= RECORDS_PER_SLICE:
-                cost += self._seal_open_slice()
+                first_offset = next_offset
+            # records enter the open slice unstamped; their offsets are the
+            # consecutive run open_base + i, stamped into the wire format at
+            # seal time and onto the objects lazily when the open slice is
+            # read (avoids one clone per appended record)
+            open_items.append(record)
+            next_offset += 1
+            open_count += 1
+            appended += 1
+            appended_bytes += record.size_bytes
+            if open_count >= RECORDS_PER_SLICE:
+                full_slices.append((open_base, open_items))
+                open_base = next_offset
+                open_items = []
+                open_count = 0
+        self._open = open_items
+        self._open_base = open_base
+        self._open_count = open_count
+        if full_slices:
+            # anything left in the open buffer was appended after the last
+            # sealed slice, so it is records only
+            self._open_segments = 0
+        self._next_offset = next_offset
+        self.records_appended += appended
+        self.bytes_appended += appended_bytes
+        cost = self._seal_slices(full_slices) if full_slices else 0.0
         if first_offset is None:
             first_offset = start
         return first_offset, cost
 
+    def _append_packed(self, batch: PackedRecordBatch) -> tuple[int, float]:
+        """Append a producer-packed buffer without materializing records."""
+        n = batch.count
+        if not n:
+            raise ValueError("append requires at least one record")
+        pid = batch.producer_id
+        base_sequence = batch.base_sequence
+        next_offset = self._next_offset
+        if pid and base_sequence >= 0:
+            state = self._producer_state.get(pid)
+            if state is None:
+                self._producer_state[pid] = [[base_sequence, next_offset, n]]
+            else:
+                last = state[-1]
+                if (base_sequence == last[0] + last[2]
+                        and next_offset == last[1] + last[2]):
+                    last[2] += n
+                elif base_sequence >= last[0] + last[2]:
+                    state.append([base_sequence, next_offset, n])
+                else:
+                    # retry overlap: some sequence may already be applied,
+                    # so fall back to the per-record dedupe path
+                    return self.append(batch.records())
+        open_items = self._open
+        open_base = self._open_base
+        open_count = self._open_count
+        full_slices: list[tuple[int, list[MessageRecord | _Segment]]] = []
+        position = 0
+        while open_count + (n - position) >= RECORDS_PER_SLICE:
+            take = RECORDS_PER_SLICE - open_count
+            if take:
+                open_items.append(
+                    _Segment(batch.data, position, position + take)
+                )
+                position += take
+            full_slices.append((open_base, open_items))
+            open_base += RECORDS_PER_SLICE
+            open_items = []
+            open_count = 0
+        if position < n:
+            open_items.append(_Segment(batch.data, position, n))
+            open_count += n - position
+            self._open_segments = 1
+        elif full_slices:
+            self._open_segments = 0
+        self._open = open_items
+        self._open_base = open_base
+        self._open_count = open_count
+        self._next_offset = next_offset + n
+        self.records_appended += n
+        self.bytes_appended += batch.wire_bytes
+        cost = self._seal_slices(full_slices) if full_slices else 0.0
+        return next_offset, cost
+
     def _dedupe_offset(self, record: MessageRecord) -> int | None:
         if not record.producer_id or record.sequence < 0:
             return None
-        return self._producer_state.get(record.producer_id, {}).get(record.sequence)
+        state = self._producer_state.get(record.producer_id)
+        return _run_lookup(state, record.sequence) if state else None
 
-    def _remember_producer(self, record: MessageRecord) -> None:
-        if record.producer_id and record.sequence >= 0:
-            self._producer_state.setdefault(record.producer_id, {})[
-                record.sequence
-            ] = record.offset
+    def _encode_slice_items(
+        self, items: list[MessageRecord | _Segment], base: int
+    ) -> bytes:
+        """Pack a slice's buffered items, stamping offsets from ``base``.
 
-    def _seal_open_slice(self) -> float:
-        if not self._open:
-            return 0.0
-        start = self._open[0].offset
-        key = f"{self.object_id}/slice/{start}"
-        # slices compress before persistence: one of the stream object's
-        # advantages over file-based logs (Section I "well store, compress")
-        payload = zlib.compress(encode_slice(self._open), level=1)
-        _, cost = self._plogs.append(key, payload)
-        self._sealed.append(
-            _SliceInfo(start_offset=start, count=len(self._open), plog_key=key)
-        )
-        self._open = []
+        Packed segments are merged byte-range-wise; contiguous record runs
+        are encoded once and merged the same way.  The common steady-state
+        case — one segment covering the whole slice — is a single
+        :func:`repack_slices` call.
+        """
+        pieces: list[tuple[bytes, int, int]] = []
+        run: list[MessageRecord] = []
+        for item in items:
+            if type(item) is _Segment:
+                if run:
+                    pieces.append((encode_slice(run), 0, len(run)))
+                    run = []
+                pieces.append((item.data, item.start, item.stop))
+            else:
+                run.append(item)
+        if not pieces:
+            return encode_slice(run, base_offset=base)
+        if run:
+            pieces.append((encode_slice(run), 0, len(run)))
+        return repack_slices(pieces, base)
+
+    @staticmethod
+    def _materialize(
+        items: list[MessageRecord | _Segment]
+    ) -> list[MessageRecord]:
+        """Expand buffered items into records (legacy seal / open reads)."""
+        records: list[MessageRecord] = []
+        for item in items:
+            if type(item) is _Segment:
+                decoded = decode_slice(item.data, start=item.start)
+                del decoded[item.stop - item.start:]
+                records.extend(decoded)
+            else:
+                records.append(item)
+        return records
+
+    def _seal_slices(
+        self, batches: list[tuple[int, list[MessageRecord | _Segment]]]
+    ) -> float:
+        """Group-commit ``batches`` (each (base offset, slice)) to PLogs."""
+        binary = self.codec == "binary"
+        ingest = stats.ingest_stats()
+        items: list[tuple[str, bytes]] = []
+        infos: list[_SliceInfo] = []
+        for start, batch in batches:
+            key = f"{self.object_id}/slice/{start}"
+            count = sum(
+                item.count if type(item) is _Segment else 1 for item in batch
+            )
+            if binary:
+                # offsets are stamped straight into the wire format
+                encoded = self._encode_slice_items(batch, start)
+            else:
+                materialized = self._materialize(batch)
+                encoded = encode_slice_legacy([
+                    r if r.offset == start + i else r.with_offset(start + i)
+                    for i, r in enumerate(materialized)
+                ])
+            # slices compress before persistence: one of the stream object's
+            # advantages over file-based logs (Section I "well store, compress")
+            payload = zlib.compress(encoded, level=1)
+            items.append((key, payload))
+            infos.append(
+                _SliceInfo(start_offset=start, count=count, plog_key=key)
+            )
+            ingest.records_appended += count
+            ingest.bytes_encoded += len(encoded)
+            ingest.bytes_compressed += len(payload)
+        ingest.slices_sealed += len(items)
+        ingest.plog_group_commits += 1
+        _, cost = self._plogs.append_batch(items)
+        self._sealed.extend(infos)
         return cost
 
     def flush(self) -> float:
         """Seal the open slice even if it is not full (shutdown/fsync)."""
-        return self._seal_open_slice()
+        if not self._open:
+            return 0.0
+        batch = self._open
+        base = self._open_base
+        self._open = []
+        self._open_count = 0
+        self._open_segments = 0
+        self._open_base = self._next_offset
+        return self._seal_slices([(base, batch)])
 
     # --- transaction visibility ----------------------------------------------
 
@@ -189,34 +417,72 @@ class StreamObject:
         out: list[MessageRecord] = []
         total_bytes = 0
         cost = 0.0
-        for info in self._sealed:
+        committed_only = control.committed_only
+        max_records = control.max_records
+        max_bytes = control.max_bytes
+        committed = self._committed_txns
+        aborted = self._aborted_txns
+        # offsets are consecutive within a slice, so the slice-level index
+        # locates the starting slice by bisection and the packed codec
+        # decodes only from the target record forward
+        first = bisect_right(
+            self._sealed, offset, key=lambda info: info.start_offset
+        ) - 1
+        for info in self._sealed[max(first, 0):]:
             if info.start_offset + info.count <= offset:
                 continue
             payload, read_cost = self._plogs.read_key(info.plog_key)
             cost += read_cost
-            for record in decode_slice(zlib.decompress(payload)):
-                if record.offset < offset:
-                    continue
-                verdict = self._classify(record, control.committed_only)
-                if verdict == "skip":
-                    continue
-                if verdict == "stop":
+            skip = offset - info.start_offset if offset > info.start_offset else 0
+            records, slice_bytes, has_txn = decode_slice_full(
+                zlib.decompress(payload), start=skip
+            )
+            if (not has_txn and len(out) + len(records) <= max_records
+                    and total_bytes + slice_bytes < max_bytes):
+                # whole-slice take: no transactions to classify and the
+                # bounds cannot trip mid-slice
+                out += records
+                total_bytes += slice_bytes
+                if len(out) >= max_records:
                     return out, cost
+                continue
+            for record in records:
+                txn = record.txn_id
+                if txn is not None:
+                    if txn in aborted:
+                        continue
+                    if txn not in committed and committed_only:
+                        # open-transaction barrier (last-stable-offset)
+                        return out, cost
                 out.append(record)
                 total_bytes += record.size_bytes
-                if len(out) >= control.max_records or total_bytes >= control.max_bytes:
+                if len(out) >= max_records or total_bytes >= max_bytes:
                     return out, cost
-        for record in self._open:
-            if record.offset < offset:
-                continue
-            verdict = self._classify(record, control.committed_only)
-            if verdict == "skip":
-                continue
-            if verdict == "stop":
-                break
+        if self._open_segments:
+            # a producer-packed segment is being read back before its
+            # slice sealed: expand the open buffer to records once
+            self._open = self._materialize(self._open)
+            self._open_segments = 0
+        open_records = self._open
+        open_base = self._open_base
+        start_index = offset - open_base if offset > open_base else 0
+        for index in range(start_index, len(open_records)):
+            record = open_records[index]
+            record_offset = open_base + index
+            if record.offset != record_offset:
+                # open records are buffered unstamped; stamp on first read
+                # and keep the clone so later reads are free
+                record = record.with_offset(record_offset)
+                open_records[index] = record
+            txn = record.txn_id
+            if txn is not None:
+                if txn in aborted:
+                    continue
+                if txn not in committed and committed_only:
+                    break
             out.append(record)
             total_bytes += record.size_bytes
-            if len(out) >= control.max_records or total_bytes >= control.max_bytes:
+            if len(out) >= max_records or total_bytes >= max_bytes:
                 break
         return out, cost
 
@@ -256,10 +522,12 @@ class StreamObjectStore:
     """
 
     def __init__(self, plogs: PLogManager, clock: SimClock,
-                 replicated_plogs: PLogManager | None = None) -> None:
+                 replicated_plogs: PLogManager | None = None,
+                 codec: str = "binary") -> None:
         self._plogs = plogs
         self._replicated_plogs = replicated_plogs
         self._clock = clock
+        self.default_codec = codec
         self._objects: dict[str, StreamObject] = {}
         self._ids = itertools.count()
 
@@ -269,7 +537,8 @@ class StreamObjectStore:
         return self._plogs
 
     def create(self, redundancy: str = "ec",
-               object_id: str | None = None) -> StreamObject:
+               object_id: str | None = None,
+               codec: str | None = None) -> StreamObject:
         """CreateServerStreamObject: allocate a new stream object."""
         if redundancy not in ("ec", "replicate"):
             raise ValueError(
@@ -280,7 +549,8 @@ class StreamObjectStore:
         if object_id in self._objects:
             raise ValueError(f"stream object {object_id!r} already exists")
         obj = StreamObject(
-            object_id, self._manager_for(redundancy), self._clock, redundancy
+            object_id, self._manager_for(redundancy), self._clock, redundancy,
+            codec=codec if codec is not None else self.default_codec,
         )
         self._objects[object_id] = obj
         return obj

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 
-from repro.stream.records import MessageRecord
+from repro.stream.records import MessageRecord, pack_values
 
 _producer_ids = itertools.count()
 
@@ -81,6 +81,55 @@ class Producer:
         if len(batch) >= self.batch_size:
             return self._flush_stream(stream_id)
         return 0.0
+
+    def send_batch(self, topic: str, values: list[bytes],
+                   keys: list[str] | None = None) -> float:
+        """Publish many messages in one call; returns simulated seconds.
+
+        The whole call is grouped by key, and each group is serialized
+        straight into the packed wire format (:func:`pack_values`) — no
+        per-record Python objects exist on this path.  Groups are shipped
+        in ``batch_size`` chunks so quota/bus accounting matches
+        :meth:`send`, and are delivered immediately (a batch IS a flush
+        for the records it carries); per-key record order is preserved.
+        """
+        if keys is not None and len(keys) != len(values):
+            raise ValueError(
+                f"got {len(values)} values but {len(keys)} keys"
+            )
+        if not values:
+            return 0.0
+        if keys is None:
+            groups: dict[str, list[bytes]] = {"": values}
+        else:
+            groups = {}
+            for key, value in zip(keys, values):
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = []
+                group.append(value)
+        route_key = self._service.dispatcher.route_key
+        deliver = self._service.deliver
+        now = self._service.clock.now
+        txn_id = self._txn_id
+        producer_id = self.producer_id
+        chunk = max(self.batch_size, 1)
+        cost = 0.0
+        for key, group in groups.items():
+            stream_id = route_key(topic, key)
+            # anything this producer buffered via send() must land first
+            # to keep the per-stream record order
+            cost += self._flush_stream(stream_id)
+            for start in range(0, len(group), chunk):
+                part = group[start:start + chunk]
+                batch = pack_values(
+                    topic, part, key, now, producer_id, self._sequence,
+                    txn_id,
+                )
+                self._sequence += len(part)
+                cost += deliver(stream_id, batch, txn_id)
+        self.sent += len(values)
+        return cost
 
     def resend(self, topic: str, value: bytes, key: str,
                sequence: int) -> float:

@@ -21,7 +21,7 @@ from repro.stream.archive import ArchiveService
 from repro.stream.config import TopicConfig
 from repro.stream.dispatcher import StreamDispatcher
 from repro.stream.object import ReadControl, StreamObject, StreamObjectStore
-from repro.stream.records import MessageRecord
+from repro.stream.records import MessageRecord, PackedRecordBatch
 from repro.stream.txn import TransactionManager
 from repro.stream.worker import StreamWorker
 
@@ -32,12 +32,13 @@ class MessageStreamingService:
     def __init__(self, plogs: PLogManager, bus: DataBus, clock: SimClock,
                  num_workers: int = 3,
                  scm_cache: SCMCache | None = None,
-                 archive_pool: StoragePool | None = None) -> None:
+                 archive_pool: StoragePool | None = None,
+                 slice_codec: str = "binary") -> None:
         self.clock = clock
         self.bus = bus
         self.plogs = plogs
         self.scm_cache = scm_cache
-        self.objects = StreamObjectStore(plogs, clock)
+        self.objects = StreamObjectStore(plogs, clock, codec=slice_codec)
         self.dispatcher = StreamDispatcher(
             KVEngine("dispatcher-meta", clock), clock
         )
@@ -153,7 +154,8 @@ class MessageStreamingService:
 
     # --- data path -------------------------------------------------------------
 
-    def deliver(self, stream_id: str, records: list[MessageRecord],
+    def deliver(self, stream_id: str,
+                records: "list[MessageRecord] | PackedRecordBatch",
                 txn_id: str | None = None) -> float:
         """Producer -> worker -> stream object write path."""
         worker = self._workers[self.dispatcher.worker_of(stream_id)]

@@ -12,6 +12,7 @@ refilled from simulated time.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
 from repro.common.clock import SimClock
@@ -19,11 +20,19 @@ from repro.errors import QuotaExceededError
 from repro.storage.bus import DataBus
 from repro.storage.scm import SCMCache
 from repro.stream.object import ReadControl, StreamObject
-from repro.stream.records import MessageRecord, decode_records, encode_records
+from repro.stream.records import (
+    MessageRecord,
+    PackedRecordBatch,
+    decode_records,
+    encode_records,
+)
 
 #: per-record CPU in the worker: unwrap client messages, encapsulate them
 #: in the stream object data format (Section V-A)
 WORKER_CPU_PER_MSG_S = 0.9e-6
+
+#: C-level size summation for wire-byte accounting on hot paths
+_size_of = operator.attrgetter("size_bytes")
 
 
 @dataclass
@@ -88,17 +97,22 @@ class StreamWorker:
     # --- produce path --------------------------------------------------------
 
     def produce(self, stream_id: str,
-                records: list[MessageRecord]) -> tuple[int, float]:
+                records: list[MessageRecord] | PackedRecordBatch
+                ) -> tuple[int, float]:
         """Write a batch to the stream's object; returns (offset, sim s).
 
         Cost = bus transfer (worker -> store layer, aggregated for small
-        batches) + the PLog write if a slice seals.
+        batches) + the PLog write if a slice seals.  Producer-packed
+        batches carry their wire size, so they skip the per-record sum.
         """
         obj = self._streams[stream_id]
         bucket = self._quotas.get(stream_id)
         if bucket is not None:
             bucket.take(len(records), self._clock.now)
-        wire_bytes = sum(record.size_bytes for record in records)
+        if isinstance(records, PackedRecordBatch):
+            wire_bytes = records.wire_bytes
+        else:
+            wire_bytes = sum(map(_size_of, records))
         cost = self._bus.transfer(wire_bytes)
         cost += len(records) * WORKER_CPU_PER_MSG_S
         offset, append_cost = obj.append(records)
@@ -134,7 +148,7 @@ class StreamWorker:
             records = decode_records(encoded) if encoded else []
         else:
             records, cost = obj.read(offset, control)
-        wire_bytes = sum(record.size_bytes for record in records)
+        wire_bytes = sum(map(_size_of, records))
         cost += self._bus.transfer(wire_bytes)
         cost += len(records) * WORKER_CPU_PER_MSG_S
         if records:

@@ -152,3 +152,25 @@ def test_empty_parity_configuration():
     codec = ReedSolomon(4, 0)
     data = b"no-parity" * 10
     assert codec.decode(list(codec.encode(data)), len(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=6),
+    m=st.integers(min_value=1, max_value=4),
+    extra=st.integers(min_value=1, max_value=3),
+    erase_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_beyond_m_erasures_names_lost_shards(k, m, extra, erase_seed):
+    """Losing more than m shards raises and the error lists exactly which."""
+    import random
+
+    codec = ReedSolomon(k, m)
+    shards = list(codec.encode(b"\x5a" * 32 * k))
+    rng = random.Random(erase_seed)
+    lost = sorted(rng.sample(range(k + m), min(m + extra, k + m)))
+    for index in lost:
+        shards[index] = None
+    with pytest.raises(UnrecoverableDataError) as excinfo:
+        codec.decode(shards, 32 * k)
+    assert f"lost shards {lost}" in str(excinfo.value)
