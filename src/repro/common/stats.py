@@ -107,6 +107,48 @@ def ingest_stats() -> IngestStats:
     return INGEST
 
 
+class ConversionStats:
+    """Counters for the stream->table conversion path (the reunion path).
+
+    The global :data:`CONVERSION` instance is incremented by
+    :class:`~repro.table.conversion.StreamTableConverter` and the
+    vectorized column builder; ``bench_reunion.py`` surfaces a snapshot
+    alongside the conversion throughput numbers.
+    """
+
+    def __init__(self) -> None:
+        self.cycles = 0               # run_cycle calls that converted data
+        self.slices_consumed = 0      # sealed slices read whole via read_values
+        self.rows_converted = 0
+        self.rows_malformed = 0
+        self.batch_parses = 0         # whole-batch JSON parses that succeeded
+        self.row_parse_fallbacks = 0  # batches that fell back to per-row parse
+        self.validation_s = 0.0       # wall seconds in parse+validate+build
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "slices_consumed": self.slices_consumed,
+            "rows_converted": self.rows_converted,
+            "rows_malformed": self.rows_malformed,
+            "batch_parses": self.batch_parses,
+            "row_parse_fallbacks": self.row_parse_fallbacks,
+            "validation_s": self.validation_s,
+        }
+
+
+#: Global conversion-path counters (see :class:`ConversionStats`).
+CONVERSION = ConversionStats()
+
+
+def conversion_stats() -> ConversionStats:
+    """Return the global stream->table conversion counters."""
+    return CONVERSION
+
+
 #: Registry of named cache counters (e.g. "table.chunk_cache").
 CACHES: dict[str, CacheStats] = {}
 

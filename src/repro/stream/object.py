@@ -43,6 +43,7 @@ from repro.stream.records import (
     encode_slice,
     encode_slice_legacy,
     repack_slices,
+    slice_values,
 )
 
 
@@ -485,6 +486,75 @@ class StreamObject:
             if len(out) >= max_records or total_bytes >= max_bytes:
                 break
         return out, cost
+
+    def read_values(self, offset: int) -> tuple[list[bytes], int, float, int]:
+        """Committed record *values* from ``offset`` to the end of the log.
+
+        The stream->table conversion read path (Section V-B): a converter
+        needs only the message payloads, so sealed slices without
+        transactional records take a fast path that slices the value bytes
+        straight out of the packed buffer (:func:`slice_values`) without
+        materializing any :class:`MessageRecord`.  Slices carrying
+        transaction ids fall back to record-level classification with the
+        same visibility rules as :meth:`read` (aborted records skipped,
+        open transactions form a stop barrier).
+
+        Returns ``(values, next_offset, simulated seconds, slices read)``
+        where ``next_offset`` is the position a follow-up call should
+        resume from (past skipped aborted records, at the barrier when one
+        was hit).
+        """
+        if offset < self.trim_offset or offset > self._next_offset:
+            raise InvalidOffsetError(
+                f"{self.object_id}: offset {offset} outside "
+                f"[{self.trim_offset}, {self._next_offset}]"
+            )
+        values: list[bytes] = []
+        cost = 0.0
+        slices_read = 0
+        position = offset
+        first = bisect_right(
+            self._sealed, offset, key=lambda info: info.start_offset
+        ) - 1
+        for info in self._sealed[max(first, 0):]:
+            if info.start_offset + info.count <= position:
+                continue
+            payload, read_cost = self._plogs.read_key(info.plog_key)
+            cost += read_cost
+            slices_read += 1
+            skip = (
+                position - info.start_offset
+                if position > info.start_offset else 0
+            )
+            data = zlib.decompress(payload)
+            slice_vals, has_txn = slice_values(data, start=skip)
+            if not has_txn:
+                values += slice_vals
+                position = info.start_offset + info.count
+                continue
+            for record in decode_slice(data, start=skip):
+                kind = self._classify(record, committed_only=True)
+                if kind == "stop":
+                    return values, position, cost, slices_read
+                if kind == "take":
+                    values.append(record.value)
+                position = record.offset + 1
+        if self._open_segments:
+            self._open = self._materialize(self._open)
+            self._open_segments = 0
+        open_base = self._open_base
+        start_index = position - open_base if position > open_base else 0
+        for index in range(start_index, len(self._open)):
+            # open records may still be unstamped; their txn_id is all the
+            # classifier needs, so no clone happens here
+            record = self._open[index]
+            kind = self._classify(record, committed_only=True)
+            if kind == "stop":
+                break
+            if kind == "take":
+                values.append(record.value)
+            position = open_base + index + 1
+        return values, position, cost, slices_read
 
     # --- maintenance ------------------------------------------------------------
 

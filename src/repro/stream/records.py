@@ -452,6 +452,38 @@ def decode_slice_full(
     return records, size, has_txn
 
 
+def slice_values(data: bytes, start: int = 0) -> tuple[list[bytes], bool]:
+    """Extract just the record *values* of a slice, plus an any-txn flag.
+
+    The stream->table conversion fast path: converting a slice needs only
+    the message payloads, so no :class:`MessageRecord` objects are built.
+    For packed slices the value byte ranges come from vectorized passes
+    over the header block and are sliced straight out of the buffer; the
+    txn flag (computed the same way) tells the caller whether it must fall
+    back to record-level visibility classification instead of using the
+    returned values.  Legacy slices decode through :func:`decode_legacy`.
+    """
+    if not is_packed(data):
+        records = decode_legacy(data)[start:]
+        has_txn = any(record.txn_id is not None for record in records)
+        return [record.value for record in records], has_txn
+    count, headers, index, blob_start = _packed_parts(data)
+    crc = _BATCH_HEADER.unpack_from(data)[2]
+    if zlib.crc32(memoryview(data)[_BATCH_HEADER.size:]) != crc:
+        raise CorruptionError("packed batch checksum mismatch")
+    tail = headers[start:]
+    has_txn = bool((tail["txn_len"] != _NO_TXN).any())
+    txn_real = np.where(tail["txn_len"] == _NO_TXN, 0, tail["txn_len"])
+    starts = (
+        index[start:].astype(np.int64) + blob_start
+        + tail["topic_len"] + tail["key_len"] + tail["pid_len"] + txn_real
+    ).astype(np.int64)
+    ends = starts + tail["value_len"]
+    return [
+        data[lo:hi] for lo, hi in zip(starts.tolist(), ends.tolist())
+    ], has_txn
+
+
 def encode_slice_legacy(records: list[MessageRecord]) -> bytes:
     """The seed's slice codec: per-record JSON in three nested frames."""
     if len(records) > RECORDS_PER_SLICE:

@@ -191,6 +191,61 @@ def _column_stats(values: list[object]) -> tuple[object, object, int]:
     return min(present), max(present), nulls
 
 
+def _encode_vector(vector: NumericVector, type_: ColumnType) -> bytes:
+    """Encode a typed vector to its compressed chunk — no Python rows."""
+    valid = vector.valid()
+    if type_ in (ColumnType.INT64, ColumnType.TIMESTAMP):
+        raw = np.where(
+            valid, vector.values.astype(np.int64, copy=False),
+            _NULL_SENTINEL_INT,
+        ).astype("<i8").tobytes()
+    elif type_ is ColumnType.FLOAT64:
+        raw = np.where(
+            valid, vector.values.astype(np.float64, copy=False), np.nan
+        ).astype("<f8").tobytes()
+    elif type_ is ColumnType.BOOL:
+        raw = np.where(
+            valid, vector.values.astype(np.uint8, copy=False) + 1, 0
+        ).astype(np.uint8).tobytes()
+    else:
+        raise SchemaError("string column cannot encode from a NumericVector")
+    return zlib.compress(raw, level=6)
+
+
+def _vector_stats(vector: NumericVector,
+                  type_: ColumnType) -> tuple[object, object, int]:
+    """min/max/null-count of a typed vector via NumPy reductions."""
+    valid = vector.valid()
+    nulls = int(len(vector) - valid.sum())
+    if nulls == len(vector):
+        return None, None, nulls
+    present = vector.values[valid]
+    low, high = present.min(), present.max()
+    if type_ in (ColumnType.INT64, ColumnType.TIMESTAMP):
+        return int(low), int(high), nulls
+    if type_ is ColumnType.BOOL:
+        return bool(low), bool(high), nulls
+    return float(low), float(high), nulls
+
+
+_EMPTY_DTYPES = {
+    ColumnType.INT64: np.int64,
+    ColumnType.TIMESTAMP: np.int64,
+    ColumnType.FLOAT64: np.float64,
+    ColumnType.BOOL: np.bool_,
+}
+
+
+def gather_column(data: "ColumnVector | list[object]",
+                  indices: np.ndarray) -> "ColumnVector | list[object]":
+    """Row-subset of one column's data (partition split / filtering)."""
+    if isinstance(data, NumericVector):
+        return NumericVector(data.values[indices], data.valid()[indices])
+    if isinstance(data, ColumnVector):
+        return data.take(indices)
+    return [data[i] for i in indices.tolist()]
+
+
 class _RowGroup:
     """Column chunks + statistics for one horizontal stripe of rows."""
 
@@ -205,6 +260,41 @@ class _RowGroup:
             low, high, nulls = _column_stats(values)
             self.stats[column.name] = (low, high)
             self.null_counts[column.name] = nulls
+
+    @classmethod
+    def from_columns(cls, schema: Schema,
+                     columns: "dict[str, ColumnVector | list[object]]",
+                     start: int, stop: int) -> "_RowGroup":
+        """Build one row group straight from column data (no row dicts).
+
+        ``NumericVector`` columns encode and compute statistics through
+        NumPy slices; list columns (strings) go through the row-path
+        encoders, which need Python values anyway for JSON/dictionary
+        encoding.
+        """
+        group = cls.__new__(cls)
+        group.num_rows = stop - start
+        group.chunks = {}
+        group.stats = {}
+        group.null_counts = {}
+        for column in schema.columns:
+            data = columns[column.name]
+            if isinstance(data, NumericVector):
+                part = NumericVector(
+                    data.values[start:stop], data.valid()[start:stop]
+                )
+                group.chunks[column.name] = _encode_vector(part, column.type)
+                low, high, nulls = _vector_stats(part, column.type)
+            else:
+                values = (
+                    data[start:stop] if isinstance(data, list)
+                    else data.take(np.arange(start, stop))
+                )
+                group.chunks[column.name] = _encode_column(values, column.type)
+                low, high, nulls = _column_stats(values)
+            group.stats[column.name] = (low, high)
+            group.null_counts[column.name] = nulls
+        return group
 
     @property
     def compressed_bytes(self) -> int:
@@ -222,14 +312,54 @@ class ColumnarFile:
 
     @classmethod
     def from_rows(cls, schema: Schema, rows: list[dict[str, object]],
-                  row_group_size: int = ROW_GROUP_SIZE) -> "ColumnarFile":
+                  row_group_size: int = ROW_GROUP_SIZE,
+                  pre_validated: bool = False) -> "ColumnarFile":
+        """Build from row dicts; ``pre_validated`` skips re-validation.
+
+        Writers that already ran :meth:`Schema.validate_row` per row (the
+        table INSERT/UPDATE paths) pass ``pre_validated=True`` so rows are
+        not validated twice.
+        """
         if row_group_size < 1:
             raise ValueError("row_group_size must be >= 1")
-        for row in rows:
-            schema.validate_row(row)
+        if not pre_validated:
+            for row in rows:
+                schema.validate_row(row)
         groups = [
             _RowGroup(schema, rows[start : start + row_group_size])
             for start in range(0, len(rows), row_group_size)
+        ]
+        return cls(schema, groups)
+
+    @classmethod
+    def from_columns(cls, schema: Schema,
+                     columns: "dict[str, ColumnVector | list[object]]",
+                     num_rows: int,
+                     row_group_size: int = ROW_GROUP_SIZE) -> "ColumnarFile":
+        """Build row groups directly from column data — the vectorized
+        write path used by stream->table conversion and compaction.
+
+        ``columns`` maps every schema column to a :class:`NumericVector`
+        (typed values + validity mask) or a plain Python value list
+        (strings).  Values are trusted — callers validate during column
+        construction (vectorized), not per row here.
+        """
+        if row_group_size < 1:
+            raise ValueError("row_group_size must be >= 1")
+        missing = set(schema.names) - set(columns)
+        if missing:
+            raise SchemaError(f"missing columns {sorted(missing)}")
+        for name, data in columns.items():
+            if len(data) != num_rows:
+                raise SchemaError(
+                    f"column {name!r} has {len(data)} values, "
+                    f"expected {num_rows}"
+                )
+        groups = [
+            _RowGroup.from_columns(
+                schema, columns, start, min(start + row_group_size, num_rows)
+            )
+            for start in range(0, num_rows, row_group_size)
         ]
         return cls(schema, groups)
 
@@ -394,6 +524,44 @@ class ColumnarFile:
 
     def group_stats(self) -> list[dict[str, tuple[object, object]]]:
         return [dict(group.stats) for group in self._groups]
+
+    def to_columns(self, cache: ChunkCache | None = None
+                   ) -> "dict[str, ColumnVector | list[object]]":
+        """Decode the whole file to per-column data (compaction path).
+
+        Numeric/bool/timestamp columns come back as one concatenated
+        :class:`NumericVector` per column; string columns materialize to
+        Python lists (their re-encoding needs the values regardless).
+        Chunk decodes go through the shared LRU ``cache``, so files that
+        were recently scanned merge without re-decompressing anything.
+        The result feeds :meth:`from_columns` without ever building a row.
+        """
+        cache = cache if cache is not None else default_chunk_cache()
+        out: dict[str, ColumnVector | list[object]] = {}
+        for column in self.schema.columns:
+            if column.type is ColumnType.STRING:
+                values: list[object] = []
+                for group in self._groups:
+                    values.extend(
+                        self._vector(group, column.name, cache).to_list()
+                    )
+                out[column.name] = values
+                continue
+            vectors = [
+                self._vector(group, column.name, cache)
+                for group in self._groups
+            ]
+            if not vectors:
+                dtype = _EMPTY_DTYPES[column.type]
+                out[column.name] = NumericVector(
+                    np.empty(0, dtype=dtype), np.empty(0, dtype=bool)
+                )
+                continue
+            out[column.name] = NumericVector(
+                np.concatenate([v.values for v in vectors]),
+                np.concatenate([v.valid() for v in vectors]),
+            )
+        return out
 
     # --- serialization --------------------------------------------------------------
 

@@ -9,17 +9,34 @@ messages) supports data playback.
 Message values are JSON log lines; the topic's ``table_schema`` defines the
 expected fields.  Records that fail schema validation are counted and
 skipped (production log pipelines always carry some malformed lines).
+
+Two conversion paths exist:
+
+* :meth:`StreamTableConverter.run_cycle` (current) is **vectorized**:
+  whole packed slices stream their values out without materializing
+  records (:meth:`~repro.stream.object.StreamObject.read_values`), the
+  batch parses as one JSON array and validates column-at-a-time into
+  typed vectors (:mod:`repro.table.colbuild`), and the table ingests the
+  columns directly (:meth:`~repro.table.table.TableObject.insert_columns`)
+  — no per-row Python anywhere between the slice bytes and the row groups.
+* :meth:`StreamTableConverter.run_cycle_rows` keeps the seed's
+  record-at-a-time loop (``json.loads`` + ``validate_row`` per record) as
+  the equivalence oracle for tests and the baseline for
+  ``bench_reunion.py``.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 
+from repro.common import stats
 from repro.common.clock import SimClock
 from repro.errors import SchemaError
-from repro.stream.records import MessageRecord
+from repro.stream.records import MessageRecord, pack_values
 from repro.stream.service import MessageStreamingService
+from repro.table.colbuild import columns_from_values
 from repro.table.table import TableObject
 
 
@@ -31,6 +48,10 @@ class ConversionReport:
     malformed: int = 0
     triggered_by: str = "none"  # "offset" | "time" | "force" | "none"
     sim_seconds: float = 0.0
+    #: sealed slices consumed whole by the vectorized path
+    slices_consumed: int = 0
+    #: wall seconds spent parsing + validating + building columns
+    validation_s: float = 0.0
 
 
 class StreamTableConverter:
@@ -47,6 +68,7 @@ class StreamTableConverter:
             for stream_id in service.dispatcher.streams_of(topic)
         }
         self._last_conversion_at = clock.now
+        self._playback_sequence = 0
         self.total_converted = 0
         self.total_malformed = 0
 
@@ -71,13 +93,62 @@ class StreamTableConverter:
         return None
 
     def run_cycle(self, force: bool = False) -> ConversionReport:
-        """Convert accumulated messages if a trigger fired (or ``force``)."""
+        """Convert accumulated messages if a trigger fired (or ``force``).
+
+        The vectorized path: slices stream their raw values out whole,
+        the batch parses/validates column-at-a-time, and the table
+        ingests typed column vectors.  Equivalent to
+        :meth:`run_cycle_rows` in converted rows, malformed counts and
+        resulting table content.
+        """
         trigger = self.should_convert()
         if trigger is None and not force:
             return ConversionReport()
         report = ConversionReport(triggered_by=trigger or "force")
-        rows: list[dict[str, object]] = []
         config = self._service.dispatcher.config_of(self._topic).convert_2_table
+        values: list[bytes] = []
+        for stream_id in sorted(self._positions):
+            obj = self._service.object_for(stream_id)
+            obj.flush()
+            stream_values, position, cost, slices = obj.read_values(
+                self._positions[stream_id]
+            )
+            report.sim_seconds += cost
+            report.slices_consumed += slices
+            values += stream_values
+            self._positions[stream_id] = position
+        if values:
+            started = time.perf_counter()
+            columns, count, malformed = columns_from_values(
+                values, self._table.schema
+            )
+            report.validation_s = time.perf_counter() - started
+            report.malformed = malformed
+            if count:
+                report.sim_seconds += self._table.insert_columns(columns, count)
+                report.converted = count
+        self._finish_cycle(report, config)
+        conversion = stats.conversion_stats()
+        conversion.cycles += 1
+        conversion.slices_consumed += report.slices_consumed
+        conversion.rows_converted += report.converted
+        conversion.rows_malformed += report.malformed
+        conversion.validation_s += report.validation_s
+        return report
+
+    def run_cycle_rows(self, force: bool = False) -> ConversionReport:
+        """Record-at-a-time conversion (the pre-vectorization path).
+
+        Kept as the equivalence oracle: tests assert :meth:`run_cycle`
+        converts exactly the rows this converts, with the same malformed
+        count and identical table content afterwards.
+        """
+        trigger = self.should_convert()
+        if trigger is None and not force:
+            return ConversionReport()
+        report = ConversionReport(triggered_by=trigger or "force")
+        config = self._service.dispatcher.config_of(self._topic).convert_2_table
+        rows: list[dict[str, object]] = []
         for stream_id in sorted(self._positions):
             obj = self._service.object_for(stream_id)
             obj.flush()
@@ -98,6 +169,11 @@ class StreamTableConverter:
         if rows:
             report.sim_seconds += self._table.insert(rows)
             report.converted = len(rows)
+        self._finish_cycle(report, config)
+        return report
+
+    def _finish_cycle(self, report: ConversionReport, config) -> None:
+        """Shared cycle epilogue: message deletion + counters + timestamps."""
         if config.delete_msg:
             for stream_id in sorted(self._positions):
                 obj = self._service.object_for(stream_id)
@@ -106,7 +182,6 @@ class StreamTableConverter:
         self._last_conversion_at = self._clock.now
         self.total_converted += report.converted
         self.total_malformed += report.malformed
-        return report
 
     def _parse(self, record: MessageRecord) -> dict[str, object] | None:
         try:
@@ -132,21 +207,35 @@ class StreamTableConverter:
                  predicate=None) -> tuple[int, float]:
         """Reverse conversion: replay table rows as stream messages.
 
+        Rows are batched per target stream (round-robin, preserving the
+        historical distribution) and each group ships as one
+        producer-packed buffer (:func:`~repro.stream.records.pack_values`)
+        so playback rides the batched-ingest group-commit path instead of
+        issuing one single-record deliver per row.  Replays are stamped
+        with a converter-owned producer id and consecutive sequences, so
+        a retried playback batch deduplicates like any producer batch.
+
         Returns (messages produced, simulated seconds).
         """
         rows = self._table.select(predicate=predicate)
+        streams = self._service.dispatcher.streams_of(target_topic)
+        per_stream: list[list[bytes]] = [[] for _ in streams]
+        for index, row in enumerate(rows):
+            per_stream[index % len(streams)].append(
+                json.dumps(row, separators=(",", ":")).encode()
+            )
         cost = 0.0
         produced = 0
-        streams = self._service.dispatcher.streams_of(target_topic)
-        for index, row in enumerate(rows):
-            value = json.dumps(row, separators=(",", ":")).encode()
-            record = MessageRecord(
-                topic=target_topic,
-                key=str(index),
-                value=value,
-                timestamp=self._clock.now,
+        now = self._clock.now
+        producer_id = f"playback/{self._topic}/{self._table.name}"
+        for stream_id, stream_values in zip(streams, per_stream):
+            if not stream_values:
+                continue
+            batch = pack_values(
+                target_topic, stream_values, "", now, producer_id,
+                self._playback_sequence, None,
             )
-            stream_id = streams[index % len(streams)]
-            cost += self._service.deliver(stream_id, [record])
-            produced += 1
+            self._playback_sequence += len(stream_values)
+            cost += self._service.deliver(stream_id, batch)
+            produced += len(stream_values)
         return produced, cost

@@ -129,12 +129,23 @@ class PartitionField:
     transform: str = "identity"
 
     def apply(self, row: dict[str, object]) -> object:
+        return self.apply_value(row.get(self.column))
+
+    def apply_value(self, value: object) -> object:
+        """Transform one already-extracted value (the columnar path)."""
         if self.transform not in _TRANSFORMS:
             raise SchemaError(f"unknown partition transform {self.transform!r}")
-        value = row.get(self.column)
         if value is None:
             return "__null__"
         return _TRANSFORMS[self.transform](value)
+
+    @property
+    def label(self) -> str:
+        """Directory-name prefix for this field, e.g. ``day_start_time``."""
+        return (
+            self.column if self.transform == "identity"
+            else f"{self.transform}_{self.column}"
+        )
 
 
 @dataclass(frozen=True)
@@ -164,12 +175,6 @@ class PartitionSpec:
         """Partition directory name for a row, e.g. 'province=11/day=19400'."""
         if not self.fields:
             return "all"
-        parts = []
-        for field_ in self.fields:
-            label = (
-                field_.column
-                if field_.transform == "identity"
-                else f"{field_.transform}_{field_.column}"
-            )
-            parts.append(f"{label}={field_.apply(row)}")
-        return "/".join(parts)
+        return "/".join(
+            f"{field_.label}={field_.apply(row)}" for field_ in self.fields
+        )

@@ -264,3 +264,81 @@ def test_per_object_redundancy_choice():
     assert rep_pool.logical_bytes > 0
     with pytest.raises(ValueError):
         store.create(redundancy="raid0")
+
+
+# --- read_values (the conversion fast path) -----------------------------------
+
+
+def read_oracle_values(obj, offset):
+    """Reference: values via the record-level read loop."""
+    values = []
+    position = offset
+    while position < obj.end_offset:
+        records, _ = obj.read(position)
+        if not records:
+            break
+        values.extend(record.value for record in records)
+        position = records[-1].offset + 1
+    return values, position
+
+
+def test_read_values_matches_read_loop_sealed_and_open():
+    obj = make_object()
+    obj.append([msg(f"v{i}".encode()) for i in range(RECORDS_PER_SLICE * 2 + 7)])
+    values, position, _, slices = obj.read_values(0)
+    oracle_values, oracle_position = read_oracle_values(obj, 0)
+    assert values == oracle_values
+    assert position == oracle_position == obj.end_offset
+    assert slices == 2  # both sealed slices consumed whole
+
+
+def test_read_values_from_mid_slice():
+    obj = make_object()
+    obj.append([msg(f"v{i}".encode()) for i in range(RECORDS_PER_SLICE + 5)])
+    start = RECORDS_PER_SLICE // 2
+    values, position, _, _ = obj.read_values(start)
+    oracle_values, _ = read_oracle_values(obj, start)
+    assert values == oracle_values
+    assert position == obj.end_offset
+
+
+def test_read_values_skips_aborted_transactions():
+    obj = make_object()
+    obj.append([msg(b"a"), msg(b"doomed", txn="t1"), msg(b"b")])
+    obj.mark_aborted("t1")
+    values, position, _, _ = obj.read_values(0)
+    assert values == [b"a", b"b"]
+    assert position == obj.end_offset
+
+
+def test_read_values_stops_at_open_transaction_barrier():
+    obj = make_object()
+    obj.append([msg(b"a"), msg(b"open", txn="t1"), msg(b"after")])
+    values, position, _, _ = obj.read_values(0)
+    assert values == [b"a"]
+    assert position == 1  # resume at the barrier once the txn resolves
+    obj.mark_committed("t1")
+    values, position, _, _ = obj.read_values(position)
+    assert values == [b"open", b"after"]
+    assert position == obj.end_offset
+
+
+def test_read_values_txn_slice_falls_back_to_classification():
+    obj = make_object()
+    records = [
+        msg(f"v{i}".encode(), txn="t1" if i % 3 == 0 else None)
+        for i in range(RECORDS_PER_SLICE + 2)
+    ]
+    obj.append(records)
+    obj.mark_committed("t1")
+    values, position, _, _ = obj.read_values(0)
+    oracle_values, oracle_position = read_oracle_values(obj, 0)
+    assert values == oracle_values
+    assert position == oracle_position
+
+
+def test_read_values_invalid_offset_raises():
+    obj = make_object()
+    obj.append([msg(b"a")])
+    with pytest.raises(InvalidOffsetError):
+        obj.read_values(5)
