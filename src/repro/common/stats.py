@@ -140,6 +140,71 @@ class ConversionStats:
         }
 
 
+class FaultStats:
+    """Counters for injected faults and the recovery work they trigger.
+
+    The global :data:`FAULTS` instance is incremented by the fault layer
+    (:mod:`repro.faults`) on the injection side and by the storage layer
+    (pool degraded reads, rebuild queue, bus) on the recovery side, so the
+    chaos tests can assert that recovery machinery actually ran — not just
+    that reads happened to succeed.
+    """
+
+    def __init__(self) -> None:
+        # --- injected faults ---
+        self.disk_crashes = 0
+        self.sector_errors_injected = 0
+        self.fragments_erased = 0        # shard erasures injected into pools
+        self.torn_commits = 0            # group commits torn mid-batch
+        self.transfers_dropped = 0
+        self.link_slowdowns = 0
+        self.partitions = 0
+        # --- recovery work ---
+        self.degraded_reads = 0          # fetches that saw >= 1 missing fragment
+        self.sector_errors_detected = 0  # latent errors surfaced by a read/scrub
+        self.fragments_reconstructed = 0  # fragments rebuilt via ec.decode/repair
+        self.reconstructed_bytes = 0
+        self.rebuilds_completed = 0      # rebuild-queue ops that restored an extent
+        self.rebuild_retries = 0
+        self.rebuild_backoff_s = 0.0
+        self.rebuilds_exhausted = 0      # ops that gave up after bounded retries
+        self.transfer_timeouts = 0
+        self.disks_repaired = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "disk_crashes": self.disk_crashes,
+            "sector_errors_injected": self.sector_errors_injected,
+            "fragments_erased": self.fragments_erased,
+            "torn_commits": self.torn_commits,
+            "transfers_dropped": self.transfers_dropped,
+            "link_slowdowns": self.link_slowdowns,
+            "partitions": self.partitions,
+            "degraded_reads": self.degraded_reads,
+            "sector_errors_detected": self.sector_errors_detected,
+            "fragments_reconstructed": self.fragments_reconstructed,
+            "reconstructed_bytes": self.reconstructed_bytes,
+            "rebuilds_completed": self.rebuilds_completed,
+            "rebuild_retries": self.rebuild_retries,
+            "rebuild_backoff_s": self.rebuild_backoff_s,
+            "rebuilds_exhausted": self.rebuilds_exhausted,
+            "transfer_timeouts": self.transfer_timeouts,
+            "disks_repaired": self.disks_repaired,
+        }
+
+
+#: Global fault/recovery counters (see :class:`FaultStats`).
+FAULTS = FaultStats()
+
+
+def fault_stats() -> FaultStats:
+    """Return the global fault-injection and recovery counters."""
+    return FAULTS
+
+
 #: Global conversion-path counters (see :class:`ConversionStats`).
 CONVERSION = ConversionStats()
 

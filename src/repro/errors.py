@@ -29,8 +29,60 @@ class CorruptionError(StorageError):
     """Stored payload failed validation (checksum / decode mismatch)."""
 
 
+class SectorError(CorruptionError):
+    """A latent sector error surfaced while reading a stored fragment.
+
+    Injected by the fault layer; undetectable until the sector is read
+    (or scrubbed), at which point the fragment counts as an erasure.
+    """
+
+
 class UnrecoverableDataError(StorageError):
-    """Too many redundancy members lost; data cannot be reconstructed."""
+    """Too many redundancy members lost; data cannot be reconstructed.
+
+    ``failed_shards`` names the fragment indices that were erased or
+    corrupt when reconstruction was attempted (None when the failing set
+    is unknown to the raiser).
+    """
+
+    def __init__(self, message: str,
+                 failed_shards: list[int] | None = None) -> None:
+        super().__init__(message)
+        self.failed_shards = (
+            sorted(failed_shards) if failed_shards is not None else None
+        )
+
+
+class TornWriteError(StorageError):
+    """A group commit tore partway through: a prefix of its members is
+    durable (acked), the rest never reached stable storage.
+
+    ``durable`` and ``lost`` list the member ids (extent ids at the pool
+    layer, record keys at the PLog layer) on each side of the tear, so
+    callers can tell acknowledged data apart from lost-in-flight data.
+    """
+
+    def __init__(self, message: str, durable: list[str] | None = None,
+                 lost: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.durable = list(durable) if durable is not None else []
+        self.lost = list(lost) if lost is not None else []
+
+
+class NetworkError(StorageError):
+    """Base class for data-bus transfer failures (fault injection)."""
+
+
+class TransferDroppedError(NetworkError):
+    """A bus transfer was dropped in flight and never delivered."""
+
+
+class TransferTimeoutError(NetworkError):
+    """A bus transfer exceeded its per-operation timeout."""
+
+
+class NetworkPartitionedError(NetworkError):
+    """The bus is partitioned; no transfer can cross until it heals."""
 
 
 class ObjectNotFoundError(StorageError):

@@ -1,0 +1,19 @@
+"""Seeded, deterministic fault injection for the StreamLake simulation.
+
+Separation of concerns mirrors the paper's failure story: faults are
+*scheduled* by a :class:`~repro.faults.plan.FaultPlan` (a pure, seeded
+data object — same seed, same plan, always) and *applied* by a
+:class:`~repro.faults.injector.FaultInjector` that walks the plan
+against the :class:`~repro.common.clock.SimClock`, driving the storage
+layer's injection hooks (disk crashes, latent sector errors, shard
+erasures, torn group commits, bus drops / slow links / partitions).
+
+Everything injected and everything recovered is counted in
+:func:`repro.common.stats.fault_stats`; the chaos harness under
+``tests/faults/`` asserts the durability invariants on top.
+"""
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultEvent", "FaultKind", "FaultPlan", "FaultInjector"]

@@ -1,0 +1,197 @@
+"""Fault injector: walks a :class:`FaultPlan` against the SimClock.
+
+The injector owns the mapping from a plan's abstract events onto
+concrete targets — *which* disk crashes, *which* extent loses a shard —
+chosen deterministically from the event's ``arg`` selector and the
+pool's sorted metadata, never from a fresh RNG.  Workloads call
+:meth:`FaultInjector.tick` between their own operations; every event at
+or before the clock fires exactly once and lands in :attr:`trace`, the
+replayable record the seed-reproducibility tests compare.
+
+Safe mode (the default) refuses to push any extent past its policy's
+fault tolerance: a crash or erasure that would destroy data is traced as
+``skipped`` instead of applied.  Chaos runs rely on this to assert the
+headline invariant — *no acknowledged record is lost while concurrent
+erasures stay within what the redundancy policy tolerates* — without
+hand-tuning each plan.  Passing ``safe=False`` lets a plan destroy data
+on purpose (for testing :class:`UnrecoverableDataError` paths).
+"""
+
+from __future__ import annotations
+
+from repro.common import stats
+from repro.common.clock import SimClock
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.storage.bus import DataBus
+from repro.storage.pool import StoragePool
+
+
+class FaultInjector:
+    """Applies a plan's events to one pool and one bus as time advances."""
+
+    def __init__(self, plan: FaultPlan, clock: SimClock, pool: StoragePool,
+                 bus: DataBus, safe: bool = True) -> None:
+        self.plan = plan
+        self._clock = clock
+        self.pool = pool
+        self.bus = bus
+        self.safe = safe
+        self._cursor = 0
+        #: Replayable record: (fire_time, kind value, what actually happened).
+        self.trace: list[tuple[float, str, str]] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.plan.events)
+
+    def tick(self) -> int:
+        """Fire every event due at the current simulated time; returns how
+        many fired (skipped events count — they are traced too)."""
+        fired = 0
+        now = self._clock.now
+        while (self._cursor < len(self.plan.events)
+               and self.plan.events[self._cursor].at <= now):
+            self._apply(self.plan.events[self._cursor])
+            self._cursor += 1
+            fired += 1
+        return fired
+
+    def drain(self) -> int:
+        """Advance the clock through every remaining event and fire it.
+
+        Used after a workload ends so paired healing events (repairs,
+        partition heals, link restores) still land and the cluster can
+        converge.  Returns events fired.
+        """
+        fired = 0
+        while self._cursor < len(self.plan.events):
+            event = self.plan.events[self._cursor]
+            if event.at > self._clock.now:
+                self._clock.advance(event.at - self._clock.now)
+            self._apply(event)
+            self._cursor += 1
+            fired += 1
+        return fired
+
+    # --- event application ---------------------------------------------------
+
+    def _record(self, event: FaultEvent, outcome: str) -> None:
+        self.trace.append((event.at, event.kind.value, outcome))
+
+    def _apply(self, event: FaultEvent) -> None:
+        handler = {
+            FaultKind.CRASH_DISK: self._crash_disk,
+            FaultKind.REPAIR_DISK: self._repair_disk,
+            FaultKind.ERASE_FRAGMENT: self._hit_fragment,
+            FaultKind.SECTOR_ERROR: self._hit_fragment,
+            FaultKind.TORN_COMMIT: self._torn_commit,
+            FaultKind.DROP_TRANSFERS: self._drop_transfers,
+            FaultKind.SLOW_LINK: self._slow_link,
+            FaultKind.RESTORE_LINK: self._restore_link,
+            FaultKind.PARTITION: self._partition,
+            FaultKind.HEAL_PARTITION: self._heal_partition,
+        }[event.kind]
+        handler(event)
+
+    def _safe_crash_candidates(self) -> list[str]:
+        """Alive disks whose loss keeps every extent within tolerance —
+        and keeps enough alive disks for new writes to place a full
+        fragment set (write availability, not just read durability)."""
+        alive = [d for d in self.pool.disks if not d.failed]
+        if len(alive) - 1 < self.pool.policy.width:
+            return []
+        tolerance = self.pool.policy.fault_tolerance
+        missing = self.pool.missing_fragments()
+        locations = self.pool.fragment_locations()
+        candidates = []
+        for disk in sorted(alive, key=lambda d: d.disk_id):
+            ok = True
+            for extent_id, disk_ids in locations.items():
+                if disk.disk_id not in disk_ids:
+                    continue
+                lost = set(missing.get(extent_id, ()))
+                lost.add(disk_ids.index(disk.disk_id))
+                if len(lost) > tolerance:
+                    ok = False
+                    break
+            if ok:
+                candidates.append(disk.disk_id)
+        return candidates
+
+    def _crash_disk(self, event: FaultEvent) -> None:
+        if self.safe:
+            candidates = self._safe_crash_candidates()
+        else:
+            candidates = sorted(
+                d.disk_id for d in self.pool.disks if not d.failed)
+        if not candidates:
+            self._record(event, "skipped: no disk can crash safely")
+            return
+        disk_id = candidates[event.arg % len(candidates)]
+        next(d for d in self.pool.disks if d.disk_id == disk_id).fail()
+        stats.fault_stats().disk_crashes += 1
+        self._record(event, f"crashed {disk_id}")
+
+    def _repair_disk(self, event: FaultEvent) -> None:
+        failed = sorted(d.disk_id for d in self.pool.disks if d.failed)
+        if not failed:
+            self._record(event, "skipped: no failed disk")
+            return
+        disk_id = failed[event.arg % len(failed)]
+        rebuilt = self.pool.repair_disk(disk_id)
+        self._record(event, f"repaired {disk_id} ({rebuilt} fragments)")
+
+    def _safe_fragment_targets(self) -> list[tuple[str, int]]:
+        """(extent, healthy fragment index) pairs that can be hit without
+        exceeding the policy's fault tolerance."""
+        tolerance = self.pool.policy.fault_tolerance
+        missing = self.pool.missing_fragments()
+        targets = []
+        for extent_id, disk_ids in self.pool.fragment_locations().items():
+            lost = set(missing.get(extent_id, ()))
+            if self.safe and len(lost) + 1 > tolerance:
+                continue
+            for index in range(len(disk_ids)):
+                if index not in lost:
+                    targets.append((extent_id, index))
+        return targets
+
+    def _hit_fragment(self, event: FaultEvent) -> None:
+        targets = self._safe_fragment_targets()
+        if not targets:
+            self._record(event, "skipped: no fragment can be hit safely")
+            return
+        extent_id, index = targets[event.arg % len(targets)]
+        if event.kind is FaultKind.ERASE_FRAGMENT:
+            disk_id = self.pool.erase_fragment(extent_id, index)
+            self._record(event, f"erased {extent_id}[{index}] on {disk_id}")
+        else:
+            disk_id = self.pool.corrupt_fragment(extent_id, index)
+            self._record(
+                event, f"sector error {extent_id}[{index}] on {disk_id}")
+
+    def _torn_commit(self, event: FaultEvent) -> None:
+        survivors = event.arg % 4  # tear after 0..3 extents of the group
+        self.pool.arm_torn_commit(survivors)
+        self._record(event, f"armed torn commit after {survivors} extents")
+
+    def _drop_transfers(self, event: FaultEvent) -> None:
+        count = max(1, event.arg)
+        self.bus.inject_drops(count)
+        self._record(event, f"dropping next {count} transfers")
+
+    def _slow_link(self, event: FaultEvent) -> None:
+        self.bus.set_slow_factor(event.factor)
+        self._record(event, f"link slowed {event.factor:.2f}x")
+
+    def _restore_link(self, event: FaultEvent) -> None:
+        self.bus.set_slow_factor(1.0)
+        self._record(event, "link restored")
+
+    def _partition(self, event: FaultEvent) -> None:
+        self.bus.partition()
+        self._record(event, "fabric partitioned")
+
+    def _heal_partition(self, event: FaultEvent) -> None:
+        self.bus.heal_partition()
+        self._record(event, "partition healed")

@@ -1,0 +1,143 @@
+"""Fault plans: seeded, immutable schedules of failure events.
+
+A :class:`FaultPlan` is pure data — it names *when* each fault fires and
+a deterministic selector for *where* (an opaque ``arg`` the injector maps
+onto a concrete disk/extent/fragment at fire time).  Plans come from
+:meth:`FaultPlan.generate`, which drives independent Poisson processes
+(one per fault kind) off a single ``random.Random(seed)``: the same seed
+always yields byte-identical plans, which is what makes chaos runs
+replayable and CI-pinnable.
+
+Disruptive state changes are generated in matched pairs — every crash
+gets a repair, every partition a heal, every slow-link a restore — so a
+finite plan always lets the cluster converge back to full redundancy.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    """Everything the injector knows how to do."""
+
+    CRASH_DISK = "crash_disk"
+    REPAIR_DISK = "repair_disk"
+    ERASE_FRAGMENT = "erase_fragment"
+    SECTOR_ERROR = "sector_error"
+    TORN_COMMIT = "torn_commit"
+    DROP_TRANSFERS = "drop_transfers"
+    SLOW_LINK = "slow_link"
+    RESTORE_LINK = "restore_link"
+    PARTITION = "partition"
+    HEAL_PARTITION = "heal_partition"
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``arg`` is a deterministic selector: the injector reduces it modulo
+    the candidate count at fire time (disk index, extent index, drop
+    count, torn-commit prefix length).  ``factor`` only matters for
+    :attr:`FaultKind.SLOW_LINK`.
+    """
+
+    at: float
+    kind: FaultKind
+    arg: int = 0
+    factor: float = 1.0
+
+    def __str__(self) -> str:
+        extra = f" x{self.factor:g}" if self.kind is FaultKind.SLOW_LINK else ""
+        return f"t={self.at:.3f} {self.kind.value}(arg={self.arg}){extra}"
+
+
+#: Mean events per simulated second, per kind (overridable per-kind in
+#: :meth:`FaultPlan.generate`).  Deliberately aggressive: plans are run
+#: against compressed simulated timelines, not wall-clock days.
+DEFAULT_RATES: dict[FaultKind, float] = {
+    FaultKind.CRASH_DISK: 0.10,
+    FaultKind.ERASE_FRAGMENT: 0.50,
+    FaultKind.SECTOR_ERROR: 0.50,
+    FaultKind.TORN_COMMIT: 0.20,
+    FaultKind.DROP_TRANSFERS: 0.30,
+    FaultKind.SLOW_LINK: 0.10,
+    FaultKind.PARTITION: 0.05,
+}
+
+#: Mean seconds a paired disruption stays active before its healing twin.
+_REPAIR_DELAY_MEAN_S = 2.0
+_PARTITION_MEAN_S = 0.5
+_SLOWDOWN_MEAN_S = 1.0
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of :class:`FaultEvent`."""
+
+    def __init__(self, events: list[FaultEvent], seed: int | None = None,
+                 duration_s: float | None = None) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(sorted(events))
+        self.seed = seed
+        self.duration_s = duration_s
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        head = f"FaultPlan(seed={self.seed}, events={len(self.events)})"
+        return "\n".join([head, *(f"  {event}" for event in self.events)])
+
+    @classmethod
+    def generate(cls, seed: int, duration_s: float,
+                 rates: dict[FaultKind, float] | None = None) -> "FaultPlan":
+        """Draw a plan from ``random.Random(seed)``.
+
+        Each fault kind is an independent Poisson process over
+        ``[0, duration_s)`` with its ``rates`` intensity (events/sim-s);
+        crash/partition/slow-link events schedule their healing twin a
+        random (exponential) delay later.  Fully deterministic: kinds are
+        walked in enum order and every draw comes from the one seeded
+        generator, so equal seeds give equal plans.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s!r}")
+        rng = random.Random(seed)
+        merged = dict(DEFAULT_RATES)
+        if rates:
+            merged.update(rates)
+        events: list[FaultEvent] = []
+        for kind in FaultKind:  # fixed iteration order => determinism
+            rate = merged.get(kind, 0.0)
+            if rate <= 0:
+                continue
+            at = rng.expovariate(rate)
+            while at < duration_s:
+                arg = rng.randrange(1 << 16)
+                if kind is FaultKind.CRASH_DISK:
+                    events.append(FaultEvent(at, kind, arg))
+                    heal = at + rng.expovariate(1.0 / _REPAIR_DELAY_MEAN_S)
+                    events.append(FaultEvent(heal, FaultKind.REPAIR_DISK, arg))
+                elif kind is FaultKind.PARTITION:
+                    events.append(FaultEvent(at, kind, arg))
+                    heal = at + rng.expovariate(1.0 / _PARTITION_MEAN_S)
+                    events.append(
+                        FaultEvent(heal, FaultKind.HEAL_PARTITION, arg))
+                elif kind is FaultKind.SLOW_LINK:
+                    factor = 2.0 + 8.0 * rng.random()
+                    events.append(FaultEvent(at, kind, arg, factor=factor))
+                    heal = at + rng.expovariate(1.0 / _SLOWDOWN_MEAN_S)
+                    events.append(
+                        FaultEvent(heal, FaultKind.RESTORE_LINK, arg))
+                elif kind is FaultKind.DROP_TRANSFERS:
+                    # drop a small burst, not a single packet
+                    events.append(FaultEvent(at, kind, 1 + arg % 3))
+                else:
+                    events.append(FaultEvent(at, kind, arg))
+                at += rng.expovariate(rate)
+        return cls(events, seed=seed, duration_s=duration_s)

@@ -20,6 +20,7 @@ from repro.storage.ec import ReedSolomon
 from repro.storage.replication import Replication
 from repro.storage.redundancy import RedundancyPolicy, erasure_coding_policy
 from repro.storage.bus import DataBus, TransportKind
+from repro.storage.rebuild import RebuildQueue, RebuildReport
 from repro.storage.kv import KVEngine
 from repro.storage.scm import SCMCache
 from repro.storage.tiering import TieringService, TieringPolicy
@@ -42,6 +43,8 @@ __all__ = [
     "erasure_coding_policy",
     "DataBus",
     "TransportKind",
+    "RebuildQueue",
+    "RebuildReport",
     "KVEngine",
     "SCMCache",
     "TieringService",

@@ -22,8 +22,14 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
+from repro.common import stats
 from repro.common.clock import SimClock
 from repro.common.units import GiB, KiB
+from repro.errors import (
+    NetworkPartitionedError,
+    TransferDroppedError,
+    TransferTimeoutError,
+)
 
 
 class TransportKind(enum.Enum):
@@ -91,34 +97,101 @@ class DataBus:
         self.transfers = 0
         self.bytes_moved = 0
         self.aggregated_batches = 0
+        # --- fault injection state (all neutral by default) ---
+        self.slow_factor = 1.0     # multiplies every transfer's cost
+        self._drop_next = 0        # pending injected in-flight drops
+        self._partitioned = False
+        self.drops = 0
+        self.timeouts = 0
+
+    # --- fault injection ----------------------------------------------------
+
+    def inject_drops(self, count: int = 1) -> None:
+        """Fault injection: the next ``count`` transfers are dropped in
+        flight (:class:`TransferDroppedError`), charging only latency."""
+        if count < 0:
+            raise ValueError(f"negative drop count {count!r}")
+        self._drop_next += count
+
+    def set_slow_factor(self, factor: float) -> None:
+        """Fault injection: degrade the link — every transfer costs
+        ``factor``x until reset to 1.0."""
+        if factor <= 0:
+            raise ValueError(f"slow factor must be positive, got {factor!r}")
+        if factor > 1.0 >= self.slow_factor:
+            stats.fault_stats().link_slowdowns += 1
+        self.slow_factor = factor
+
+    def partition(self) -> None:
+        """Fault injection: partition the fabric — every transfer raises
+        :class:`NetworkPartitionedError` until :meth:`heal_partition`."""
+        if not self._partitioned:
+            stats.fault_stats().partitions += 1
+        self._partitioned = True
+
+    def heal_partition(self) -> None:
+        self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    def _check_faults(self) -> None:
+        """Raise (charging the wasted attempt latency) if the fabric is
+        partitioned or an injected drop consumes this transfer."""
+        if self._partitioned:
+            self._clock.charge("bus", self.profile.latency_s)
+            raise NetworkPartitionedError("data bus is partitioned")
+        if self._drop_next > 0:
+            self._drop_next -= 1
+            self.drops += 1
+            stats.fault_stats().transfers_dropped += 1
+            self._clock.charge("bus", self.profile.latency_s)
+            raise TransferDroppedError("transfer dropped in flight")
 
     @property
     def pending_small_bytes(self) -> int:
         """Bytes buffered for small-I/O aggregation, awaiting a flush."""
         return self._small_backlog_bytes
 
-    def transfer(self, size: int, urgent: bool = False) -> float:
+    def transfer(self, size: int, urgent: bool = False,
+                 timeout_s: float | None = None) -> float:
         """Move ``size`` bytes; returns simulated seconds on the wire.
 
         Non-urgent small I/O is buffered; when the backlog reaches the
         aggregation target it is flushed as one transfer whose cost is
         amortized over the batch.  Urgent requests always go immediately.
+
+        ``timeout_s`` bounds one operation: if the wire time (including
+        any injected slow-link factor) would exceed it, the caller is
+        charged the timeout and gets a :class:`TransferTimeoutError`.
+        Injected drops and partitions raise before any bytes move.
         """
         if size < 0:
             raise ValueError(f"negative transfer size {size!r}")
-        self.bytes_moved += size
+        self._check_faults()
         if (
             self.aggregate_small_io
             and not urgent
             and size < SMALL_IO_THRESHOLD
         ):
+            self.bytes_moved += size
             self._small_backlog.append(size)
             self._small_backlog_bytes += size
             if self._small_backlog_bytes >= AGGREGATION_TARGET:
                 return self.flush_small_io()
             return 0.0
+        cost = self.profile.cost(size) * self.slow_factor
+        if timeout_s is not None and cost > timeout_s:
+            self.timeouts += 1
+            stats.fault_stats().transfer_timeouts += 1
+            self._clock.charge("bus", timeout_s)
+            raise TransferTimeoutError(
+                f"transfer of {size} bytes needs {cost:.6f}s, "
+                f"timeout {timeout_s:.6f}s"
+            )
+        self.bytes_moved += size
         self.transfers += 1
-        cost = self.profile.cost(size)
         self._clock.charge("bus", cost)
         return cost
 
@@ -133,7 +206,7 @@ class DataBus:
         self.transfers += 1
         self.aggregated_batches += 1
         # one latency + one bandwidth term for the whole batch
-        cost = self.profile.cost(total, messages=count)
+        cost = self.profile.cost(total, messages=count) * self.slow_factor
         self._clock.charge("bus", cost)
         return cost
 
@@ -159,7 +232,7 @@ class DataBus:
         elapsed = 0.0
         while self._pending:
             entry = heapq.heappop(self._pending)
-            elapsed += self.profile.cost(entry.size)
+            elapsed += self.profile.cost(entry.size) * self.slow_factor
             self.transfers += 1
             completions.append((entry.description, elapsed))
         self._clock.charge("bus", elapsed)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.common.clock import SimClock
 from repro.common.units import GiB, MiB, TiB
-from repro.errors import CapacityError, DiskFailedError
+from repro.errors import CapacityError, DiskFailedError, SectorError
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,7 @@ class Disk:
         self.profile = profile
         self._clock = clock
         self._extents: dict[str, bytes] = {}
+        self._corrupt: set[str] = set()
         self._used = 0
         self._failed = False
         self.bytes_read = 0
@@ -95,7 +96,26 @@ class Disk:
         """Bring a failed disk back empty (it was replaced, not repaired)."""
         self._failed = False
         self._extents.clear()
+        self._corrupt.clear()
         self._used = 0
+
+    def corrupt_extent(self, extent_id: str) -> bool:
+        """Fault injection: mark an extent's sectors latently bad.
+
+        The error is *latent* — ``has_extent`` still reports the extent
+        present, and nothing happens until a read touches it and raises
+        :class:`SectorError`.  Returns False when the extent is absent
+        (nothing to corrupt).  A rewrite of the extent remaps the sectors
+        and clears the error.
+        """
+        if self._failed or extent_id not in self._extents:
+            return False
+        self._corrupt.add(extent_id)
+        return True
+
+    def is_corrupt(self, extent_id: str) -> bool:
+        """Oracle for tests/scrubbers: is a latent error pending here?"""
+        return extent_id in self._corrupt
 
     def _check_alive(self) -> None:
         if self._failed:
@@ -115,6 +135,7 @@ class Disk:
                 f"disk {self.disk_id}: need {delta} bytes, {self.free_bytes} free"
             )
         self._extents[extent_id] = payload
+        self._corrupt.discard(extent_id)  # rewriting remaps bad sectors
         self._used += delta
         self.bytes_written += len(payload)
         cost = self.profile.write_cost(len(payload))
@@ -130,12 +151,19 @@ class Disk:
         self.bytes_read += len(payload)
         cost = self.profile.read_cost(len(payload))
         self._clock.charge(self.disk_id, cost)
+        if extent_id in self._corrupt:
+            # the seek+transfer was paid before the checksum caught it
+            raise SectorError(
+                f"disk {self.disk_id}: latent sector error under "
+                f"extent {extent_id!r}"
+            )
         return payload, cost
 
     def delete(self, extent_id: str) -> int:
         """Drop an extent, returning the bytes freed (0 if absent)."""
         self._check_alive()
         payload = self._extents.pop(extent_id, None)
+        self._corrupt.discard(extent_id)
         if payload is None:
             return 0
         self._used -= len(payload)

@@ -264,7 +264,8 @@ class ReedSolomon:
             raise UnrecoverableDataError(
                 f"only {len(survivors)} shards survive, need {self.k}: "
                 f"lost shards {lost} exceed the {self.m} erasures "
-                f"RS({self.k}+{self.m}) tolerates"
+                f"RS({self.k}+{self.m}) tolerates",
+                failed_shards=lost,
             )
         chosen = survivors[: self.k]
         if chosen == list(range(self.k)):

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.common.clock import SimClock
 from repro.common.units import MiB
-from repro.errors import ObjectNotFoundError
+from repro.errors import ObjectNotFoundError, TornWriteError
 from repro.storage.dht import NUM_SHARDS, shard_of
 from repro.storage.kv import KVEngine
 from repro.storage.pool import StoragePool
@@ -125,6 +125,13 @@ class PLogManager:
         encode for the whole group), then index the keys.
 
         Returns (addresses in input order, simulated seconds).
+
+        Acked-write semantics: a group commit that tears mid-batch (see
+        :meth:`StoragePool.store_batch`) indexes only the durable prefix
+        — those keys are acknowledged and will be served — then re-raises
+        :class:`TornWriteError` naming the acked keys and the
+        lost-in-flight ones, which were never acknowledged and whose
+        address-space reservations become dead holes in their PLog units.
         """
         if not items:
             return [], 0.0
@@ -135,9 +142,25 @@ class PLogManager:
             placements.append(
                 (key, payload, PLogAddress(shard, unit.generation, offset))
             )
-        cost = self.pool.store_batch(
-            [(address.extent_id(), payload) for _, payload, address in placements]
-        )
+        try:
+            cost = self.pool.store_batch(
+                [(address.extent_id(), payload)
+                 for _, payload, address in placements]
+            )
+        except TornWriteError as exc:
+            # the pool stored extents in placement order: the durable
+            # prefix maps back onto the first len(exc.durable) keys
+            durable = placements[: len(exc.durable)]
+            for key, payload, address in durable:
+                self.index.put(f"addr/{key}", address.extent_id())
+                self.bytes_appended += len(payload)
+            self.appends += len(durable)
+            raise TornWriteError(
+                f"PLog group commit torn: {len(durable)} of "
+                f"{len(placements)} appends durable",
+                durable=[key for key, _, __ in durable],
+                lost=[key for key, _, __ in placements[len(durable):]],
+            ) from exc
         index_put = self.index.put
         for key, payload, address in placements:
             index_put(f"addr/{key}", address.extent_id())

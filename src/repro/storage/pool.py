@@ -16,8 +16,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common import stats
 from repro.common.clock import SimClock
-from repro.errors import CapacityError, ObjectNotFoundError
+from repro.errors import (
+    CapacityError,
+    CorruptionError,
+    ObjectNotFoundError,
+    StorageError,
+    TornWriteError,
+)
 from repro.storage.disk import Disk, DiskProfile
 from repro.storage.redundancy import RedundancyPolicy
 from repro.storage.replication import Replication
@@ -45,6 +52,9 @@ class PoolStats:
     gc_reclaimed_bytes: int = 0
     repairs: int = 0
     repair_bytes: int = 0
+    degraded_reads: int = 0
+    rebuilds: int = 0
+    rebuilt_fragments: int = 0
 
 
 class StoragePool:
@@ -59,6 +69,7 @@ class StoragePool:
         self._extents: dict[str, _ExtentMeta] = {}
         self._snapshots: dict[str, set[str]] = {}
         self._provisioned: dict[str, int] = {}
+        self._torn_after: int | None = None
         self.stats = PoolStats()
 
     # --- membership -------------------------------------------------------
@@ -119,14 +130,58 @@ class StoragePool:
 
         Returns the summed simulated seconds (extents land back-to-back;
         fragments within an extent still write in parallel).
+
+        Acked-write semantics: when the commit tears mid-batch — a storage
+        failure while placing member *i*, or an armed
+        :meth:`arm_torn_commit` injection — the already-placed prefix
+        stays durable and a :class:`TornWriteError` names both sides of
+        the tear, so callers never mistake lost-in-flight extents for
+        acknowledged ones.  The tearing member itself is rolled back by
+        :meth:`_place` (all-or-nothing per extent), so no partial extent
+        ever survives.
         """
         fragments_per = self.policy.fragment_batch(
             [payload for _, payload in items]
         )
+        torn_after = self._torn_after
+        self._torn_after = None
         total = 0.0
-        for (extent_id, payload), fragments in zip(items, fragments_per):
-            total += self._place(extent_id, payload, fragments)
+        durable: list[str] = []
+        for index, ((extent_id, payload), fragments) in enumerate(
+            zip(items, fragments_per)
+        ):
+            if torn_after is not None and index >= torn_after:
+                stats.fault_stats().torn_commits += 1
+                raise TornWriteError(
+                    f"pool {self.name!r}: group commit torn after "
+                    f"{index} of {len(items)} extents",
+                    durable=durable,
+                    lost=[eid for eid, _ in items[index:]],
+                )
+            try:
+                total += self._place(extent_id, payload, fragments)
+            except StorageError as exc:
+                raise TornWriteError(
+                    f"pool {self.name!r}: group commit member "
+                    f"{extent_id!r} failed after {index} durable "
+                    f"extents: {exc}",
+                    durable=durable,
+                    lost=[eid for eid, _ in items[index:]],
+                ) from exc
+            durable.append(extent_id)
         return total
+
+    def arm_torn_commit(self, after_extents: int) -> None:
+        """Fault injection: tear the *next* group commit.
+
+        The next :meth:`store_batch` call persists its first
+        ``after_extents`` members, then fails with a
+        :class:`TornWriteError`; the arming is consumed whether or not
+        the batch was long enough to tear.
+        """
+        if after_extents < 0:
+            raise ValueError(f"negative tear point {after_extents!r}")
+        self._torn_after = after_extents
 
     def _place(self, extent_id: str, payload: bytes,
                fragments: list[bytes]) -> float:
@@ -148,9 +203,11 @@ class StoragePool:
                     disk.write(f"{extent_id}#{disk.disk_id}", fragment),
                 )
                 written.append(disk)
-        except Exception:
+        except StorageError:
             # all-or-nothing: roll back fragments already written so a
-            # failed store never leaks partial extents
+            # failed store never leaks partial extents.  Only typed store
+            # errors (disk failure, capacity) are swallowed into the
+            # rollback; a logic error propagates untouched.
             for disk in written:
                 disk.delete(f"{extent_id}#{disk.disk_id}")
             raise
@@ -162,18 +219,36 @@ class StoragePool:
 
     def fetch(self, extent_id: str) -> tuple[bytes, float]:
         """Read an extent back, reconstructing through the policy if disks
-        failed.  Returns (payload, simulated seconds)."""
+        failed.  Returns (payload, simulated seconds).
+
+        Crashed disks, erased fragments and latent sector errors
+        (:class:`SectorError` surfacing mid-read) all count as erasures;
+        as long as no more than the policy's fault tolerance are gone the
+        read degrades — reconstructs and returns byte-identical data —
+        instead of failing, and the degradation is counted in
+        :class:`PoolStats` and the global fault counters.
+        """
         meta = self._live_meta(extent_id)
         owner = self._physical_owner(extent_id)
+        faults = stats.fault_stats()
         fragments: list[bytes | None] = []
         slowest = 0.0
+        erased = 0
         for disk_id in meta.disk_ids:
             disk = self._disks[disk_id]
             key = f"{owner}#{disk_id}"
             if disk.failed or not disk.has_extent(key):
                 fragments.append(None)
+                erased += 1
                 continue
-            payload, cost = disk.read(key)
+            try:
+                payload, cost = disk.read(key)
+            except CorruptionError:
+                # latent sector error surfaced by this read
+                faults.sector_errors_detected += 1
+                fragments.append(None)
+                erased += 1
+                continue
             fragments.append(payload)
             slowest = max(slowest, cost)
             if isinstance(self.policy, Replication):
@@ -181,7 +256,15 @@ class StoragePool:
                 fragments.extend([None] * (len(meta.disk_ids) - len(fragments)))
                 break
         self.stats.extents_read += 1
-        return self.policy.assemble(fragments, meta.length), slowest
+        if erased:
+            self.stats.degraded_reads += 1
+            faults.degraded_reads += 1
+        payload = self.policy.assemble(fragments, meta.length)
+        if erased and not isinstance(self.policy, Replication):
+            # the EC decode just reconstructed the erased fragments
+            faults.fragments_reconstructed += erased
+            faults.reconstructed_bytes += meta.length
+        return payload, slowest
 
     def delete(self, extent_id: str) -> None:
         """Tombstone an extent; space is reclaimed by :meth:`garbage_collect`."""
@@ -332,12 +415,198 @@ class StoragePool:
                 key = f"{physical}#{owner_disk}"
                 if peer.failed or not peer.has_extent(key):
                     fragments.append(None)
-                else:
+                    continue
+                try:
                     payload, _ = peer.read(key)
-                    fragments.append(payload)
+                except CorruptionError:
+                    stats.fault_stats().sector_errors_detected += 1
+                    fragments.append(None)
+                    continue
+                fragments.append(payload)
             fragment = self.policy.repair(fragments, index, meta.length)
             disk.write(f"{physical}#{disk_id}", fragment)
             rebuilt += 1
             self.stats.repair_bytes += len(fragment)
         self.stats.repairs += 1
+        stats.fault_stats().disks_repaired += 1
         return rebuilt
+
+    # --- fault injection -----------------------------------------------------
+
+    def erase_fragment(self, extent_id: str, index: int) -> str:
+        """Fault injection: silently destroy one stored fragment.
+
+        Models an undetected shard erasure (bit rot, lost write): the
+        fragment vanishes from its disk without any error being raised
+        until a read or scrub notices.  Returns the disk id that lost it.
+        """
+        meta = self._live_meta(extent_id)
+        owner = self._physical_owner(extent_id)
+        disk_id = meta.disk_ids[index % len(meta.disk_ids)]
+        disk = self._disks[disk_id]
+        if not disk.failed:
+            disk.delete(f"{owner}#{disk_id}")
+        stats.fault_stats().fragments_erased += 1
+        return disk_id
+
+    def corrupt_fragment(self, extent_id: str, index: int) -> str:
+        """Fault injection: plant a latent sector error under one fragment.
+
+        The fragment stays "present" until read (see
+        :meth:`Disk.corrupt_extent`).  Returns the disk id affected.
+        """
+        meta = self._live_meta(extent_id)
+        owner = self._physical_owner(extent_id)
+        disk_id = meta.disk_ids[index % len(meta.disk_ids)]
+        if self._disks[disk_id].corrupt_extent(f"{owner}#{disk_id}"):
+            stats.fault_stats().sector_errors_injected += 1
+        return disk_id
+
+    # --- redundancy oracles (metadata-only, charge no simulated time) --------
+
+    def fragment_locations(self) -> dict[str, list[str]]:
+        """Disk ids holding each live extent's fragments, one entry per
+        physical fragment set (clones collapse onto their owner's)."""
+        out: dict[str, list[str]] = {}
+        seen: set[str] = set()
+        for extent_id in sorted(self._extents):
+            meta = self._extents[extent_id]
+            if meta.tombstoned:
+                continue
+            owner = self._physical_owner(extent_id)
+            if owner in seen:
+                continue
+            seen.add(owner)
+            out[extent_id] = list(meta.disk_ids)
+        return out
+
+    def missing_fragments(self) -> dict[str, list[int]]:
+        """Fragment indices currently lost per live extent.
+
+        Counts crashed disks, erased fragments and *flagged* latent
+        sector errors (the oracle sees the flag; real readers only find
+        out via :meth:`scrub` or a degraded read).  Extents with a full
+        fragment set are omitted; clones collapse onto one entry.
+        """
+        out: dict[str, list[int]] = {}
+        for extent_id, disk_ids in self.fragment_locations().items():
+            owner = self._physical_owner(extent_id)
+            missing = []
+            for index, disk_id in enumerate(disk_ids):
+                disk = self._disks[disk_id]
+                key = f"{owner}#{disk_id}"
+                if (disk.failed or not disk.has_extent(key)
+                        or disk.is_corrupt(key)):
+                    missing.append(index)
+            if missing:
+                out[extent_id] = missing
+        return out
+
+    def redundancy_deficit(self) -> int:
+        """Total fragments that must be rebuilt to restore full redundancy."""
+        return sum(len(lost) for lost in self.missing_fragments().values())
+
+    @property
+    def fully_redundant(self) -> bool:
+        """True when every live extent has its full fragment set healthy."""
+        return not self.missing_fragments()
+
+    def scrub(self) -> dict[str, list[int]]:
+        """Read every live fragment to surface latent errors (charging the
+        read time), returning the same mapping :meth:`missing_fragments`
+        would — but discovered by I/O rather than by oracle."""
+        faults = stats.fault_stats()
+        out: dict[str, list[int]] = {}
+        for extent_id, disk_ids in self.fragment_locations().items():
+            owner = self._physical_owner(extent_id)
+            bad = []
+            for index, disk_id in enumerate(disk_ids):
+                disk = self._disks[disk_id]
+                key = f"{owner}#{disk_id}"
+                if disk.failed or not disk.has_extent(key):
+                    bad.append(index)
+                    continue
+                try:
+                    disk.read(key)
+                except CorruptionError:
+                    faults.sector_errors_detected += 1
+                    bad.append(index)
+            if bad:
+                out[extent_id] = bad
+        return out
+
+    def extent_length(self, extent_id: str) -> int:
+        """Logical byte length of a live extent (for rebuild sizing)."""
+        return self._live_meta(extent_id).length
+
+    def rebuild_extent(self, extent_id: str) -> int:
+        """Reconstruct one extent's lost/corrupt fragments onto healthy disks.
+
+        Unlike :meth:`repair_disk` (whole-disk replacement), this targets a
+        single extent: surviving fragments are read, each lost one is
+        rebuilt through the policy and re-placed — in place when its disk
+        is alive (rewriting clears a latent error), otherwise onto another
+        alive disk holding no fragment of this extent, with the placement
+        metadata of the extent *and every clone sharing its fragments*
+        updated.  Returns fragments rebuilt (0 when already healthy).
+        Raises :class:`UnrecoverableDataError` when more fragments are
+        gone than the policy tolerates, and :class:`CapacityError` when no
+        healthy disk can take a re-placed fragment.
+        """
+        meta = self._live_meta(extent_id)
+        owner = self._physical_owner(extent_id)
+        faults = stats.fault_stats()
+        fragments: list[bytes | None] = []
+        lost: list[int] = []
+        for index, disk_id in enumerate(meta.disk_ids):
+            disk = self._disks[disk_id]
+            key = f"{owner}#{disk_id}"
+            if disk.failed or not disk.has_extent(key):
+                fragments.append(None)
+                lost.append(index)
+                continue
+            try:
+                payload, _ = disk.read(key)
+            except CorruptionError:
+                faults.sector_errors_detected += 1
+                fragments.append(None)
+                lost.append(index)
+                continue
+            fragments.append(payload)
+        if not lost:
+            return 0
+        # clones share the owner's physical fragments: every extent pointing
+        # at this owner (tombstoned ones included, so GC frees the fragments
+        # at their new homes) must see the new placement
+        family = [
+            m for eid, m in self._extents.items()
+            if self._physical_owner(eid) == owner
+        ]
+        for index in lost:
+            fragment = self.policy.repair(fragments, index, meta.length)
+            old_disk = self._disks[meta.disk_ids[index]]
+            if not old_disk.failed:
+                target = old_disk
+            else:
+                holders = set(meta.disk_ids)
+                candidates = sorted(
+                    (d for d in self._alive_disks()
+                     if d.disk_id not in holders),
+                    key=lambda d: d.used_bytes,
+                )
+                if not candidates:
+                    raise CapacityError(
+                        f"pool {self.name!r}: no healthy disk can take a "
+                        f"rebuilt fragment of {extent_id!r}"
+                    )
+                target = candidates[0]
+            target.write(f"{owner}#{target.disk_id}", fragment)
+            for member in family:
+                member.disk_ids[index] = target.disk_id
+            fragments[index] = fragment
+            self.stats.rebuilt_fragments += 1
+            self.stats.repair_bytes += len(fragment)
+            faults.fragments_reconstructed += 1
+            faults.reconstructed_bytes += len(fragment)
+        self.stats.rebuilds += 1
+        return len(lost)

@@ -79,7 +79,10 @@ def erasure_coding_policy(data_shards: int, parity_shards: int) -> RedundancyPol
         def repair(self, fragments: list[bytes | None], index: int,
                    length: int) -> bytes:
             if all(f is None for f in fragments):
-                raise UnrecoverableDataError("no surviving fragments")
+                raise UnrecoverableDataError(
+                    "no surviving fragments",
+                    failed_shards=list(range(len(fragments))),
+                )
             return self._codec.reconstruct_shard(fragments, index, length)
 
     return _ECPolicy()

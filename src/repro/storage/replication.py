@@ -31,7 +31,10 @@ class Replication(RedundancyPolicy):
         for fragment in fragments:
             if fragment is not None:
                 return fragment[:length]
-        raise UnrecoverableDataError("all replicas lost")
+        raise UnrecoverableDataError(
+            f"all {self.width} replicas lost",
+            failed_shards=list(range(self.width)),
+        )
 
     def repair(self, fragments: list[bytes | None], index: int,
                length: int) -> bytes:

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 from repro.common import stats
 from repro.common.clock import SimClock
-from repro.errors import InvalidOffsetError, ObjectNotFoundError
+from repro.errors import InvalidOffsetError, ObjectNotFoundError, TornWriteError
 from repro.storage.plog import PLogManager
 from repro.stream.records import (
     RECORDS_PER_SLICE,
@@ -358,7 +358,14 @@ class StreamObject:
             ingest.bytes_compressed += len(payload)
         ingest.slices_sealed += len(items)
         ingest.plog_group_commits += 1
-        _, cost = self._plogs.append_batch(items)
+        try:
+            _, cost = self._plogs.append_batch(items)
+        except TornWriteError as exc:
+            # the durable prefix of slices was acked by the PLogs: keep
+            # serving it; the lost slices' records were never acked and
+            # their offsets become holes readers skip over
+            self._sealed.extend(infos[: len(exc.durable)])
+            raise
         self._sealed.extend(infos)
         return cost
 

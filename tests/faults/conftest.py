@@ -1,0 +1,41 @@
+"""Fixtures for the fault-injection / chaos harness.
+
+Everything here is deliberately small: pools of a few MiB-scale disks so
+chaos runs stay fast, and an un-aggregated bus so per-op timeouts apply
+to every transfer size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import stats
+from repro.common.clock import SimClock
+from repro.storage.bus import DataBus
+from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.pool import StoragePool
+from repro.storage.redundancy import erasure_coding_policy
+
+
+@pytest.fixture(autouse=True)
+def reset_fault_stats():
+    """Fault counters are global: make every test start from zero."""
+    stats.fault_stats().reset()
+    yield
+    stats.fault_stats().reset()
+
+
+@pytest.fixture
+def small_pool(clock: SimClock) -> StoragePool:
+    """EC(3+2) over 7 disks: tolerance 2, with 2 spare disks so a crashed
+    disk's fragments can re-home without capacity pressure."""
+    pool = StoragePool("chaos-ssd", clock, policy=erasure_coding_policy(3, 2))
+    pool.add_disks(NVME_SSD_PROFILE, 7)
+    return pool
+
+
+@pytest.fixture
+def raw_bus(clock: SimClock) -> DataBus:
+    """A bus without small-I/O aggregation, so even tiny rebuild transfers
+    go on the wire immediately and honor per-op timeouts."""
+    return DataBus(clock, aggregate_small_io=False)

@@ -1,0 +1,261 @@
+"""Recovery machinery: degraded reads, scrub, rebuild queue, torn commits.
+
+These pin the tentpole's storage-side guarantees one layer at a time:
+the pool reconstructs through erasures and latent errors, the rebuild
+queue restores redundancy with bounded retry/backoff, and torn group
+commits preserve exactly the acknowledged prefix at the pool, PLog and
+stream-object layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import stats
+from repro.errors import (
+    ObjectNotFoundError,
+    NetworkPartitionedError,
+    TornWriteError,
+    TransferDroppedError,
+    TransferTimeoutError,
+)
+from repro.storage.plog import PLogManager
+from repro.storage.pool import StoragePool
+from repro.storage.rebuild import RebuildQueue
+from repro.stream.object import StreamObject
+from repro.stream.records import RECORDS_PER_SLICE, MessageRecord
+
+
+PAYLOAD = b"reunion" * 1024
+
+
+# --- degraded reads ---------------------------------------------------------
+
+
+def test_degraded_read_is_byte_identical(small_pool: StoragePool):
+    small_pool.store("x", PAYLOAD)
+    small_pool.erase_fragment("x", 0)
+    small_pool.corrupt_fragment("x", 3)
+    data, _ = small_pool.fetch("x")
+    assert data == PAYLOAD
+    assert small_pool.stats.degraded_reads == 1
+    faults = stats.fault_stats()
+    assert faults.degraded_reads == 1
+    assert faults.sector_errors_detected == 1
+    assert faults.fragments_reconstructed >= 1
+
+
+def test_scrub_surfaces_latent_errors(small_pool: StoragePool):
+    small_pool.store("x", PAYLOAD)
+    small_pool.store("y", PAYLOAD[::-1])
+    small_pool.corrupt_fragment("x", 2)
+    report = small_pool.scrub()
+    assert report == {"x": [2]}
+    assert stats.fault_stats().sector_errors_detected == 1
+
+
+def test_oracles_track_deficit(small_pool: StoragePool):
+    small_pool.store("x", PAYLOAD)
+    assert small_pool.fully_redundant
+    assert small_pool.redundancy_deficit() == 0
+    small_pool.erase_fragment("x", 1)
+    small_pool.corrupt_fragment("x", 4)
+    assert small_pool.missing_fragments() == {"x": [1, 4]}
+    assert small_pool.redundancy_deficit() == 2
+    assert not small_pool.fully_redundant
+
+
+# --- rebuild queue ----------------------------------------------------------
+
+
+def test_rebuild_restores_full_redundancy(small_pool, raw_bus, clock):
+    for index in range(4):
+        small_pool.store(f"e{index}", PAYLOAD)
+    small_pool.erase_fragment("e0", 0)
+    small_pool.erase_fragment("e1", 2)
+    small_pool.corrupt_fragment("e2", 4)
+
+    queue = RebuildQueue(small_pool, raw_bus, clock)
+    assert queue.scan_and_enqueue() == 3
+    assert queue.scan_and_enqueue() == 0  # dedupe
+    report = queue.run()
+    assert report.rebuilt_extents == 3
+    assert report.rebuilt_fragments == 3
+    assert small_pool.fully_redundant
+    assert stats.fault_stats().rebuilds_completed == 3
+    for index in range(4):
+        data, _ = small_pool.fetch(f"e{index}")
+        assert data == PAYLOAD
+    # fetch after rebuild is a clean read, not a degraded one
+    assert small_pool.stats.degraded_reads == 0
+
+
+def test_rebuild_rehomes_fragments_of_crashed_disk(small_pool, raw_bus, clock):
+    small_pool.store("x", PAYLOAD)
+    victim = small_pool.disks[0]
+    assert victim.disk_id in small_pool.fragment_locations()["x"]
+    victim.fail()
+
+    queue = RebuildQueue(small_pool, raw_bus, clock)
+    queue.scan_and_enqueue()
+    report = queue.run()
+    assert report.rebuilt_extents == 1
+    # the fragment re-homed onto a spare: redundancy is whole again even
+    # though the crashed disk is still down
+    assert small_pool.fully_redundant
+    assert victim.disk_id not in small_pool.fragment_locations()["x"]
+    data, _ = small_pool.fetch("x")
+    assert data == PAYLOAD
+
+
+def test_rebuild_retries_with_backoff_on_drops(small_pool, raw_bus, clock):
+    small_pool.store("x", PAYLOAD)
+    small_pool.erase_fragment("x", 0)
+    raw_bus.inject_drops(2)
+
+    queue = RebuildQueue(small_pool, raw_bus, clock, base_backoff_s=0.1)
+    queue.scan_and_enqueue()
+    before = clock.now
+    report = queue.run()
+    assert report.rebuilt_extents == 1
+    assert report.retries == 2
+    faults = stats.fault_stats()
+    assert faults.rebuild_retries == 2
+    assert faults.transfers_dropped == 2
+    # exponential: 0.1 + 0.2
+    assert faults.rebuild_backoff_s == pytest.approx(0.3)
+    assert clock.now - before >= 0.3
+    assert small_pool.fully_redundant
+
+
+def test_rebuild_gives_up_after_max_attempts(small_pool, raw_bus, clock):
+    small_pool.store("x", PAYLOAD)
+    small_pool.erase_fragment("x", 1)
+    raw_bus.partition()
+
+    queue = RebuildQueue(small_pool, raw_bus, clock, max_attempts=2)
+    queue.scan_and_enqueue()
+    report = queue.run()
+    assert report.gave_up == ["x"]
+    assert report.rebuilt_extents == 0
+    assert stats.fault_stats().rebuilds_exhausted == 1
+    assert not small_pool.fully_redundant
+
+    raw_bus.heal_partition()
+    queue.enqueue("x")
+    assert queue.run().rebuilt_extents == 1
+    assert small_pool.fully_redundant
+
+
+def test_rebuild_retries_through_timeouts(small_pool, raw_bus, clock):
+    small_pool.store("x", b"z" * 65536)
+    small_pool.erase_fragment("x", 0)
+    raw_bus.set_slow_factor(100.0)
+
+    queue = RebuildQueue(small_pool, raw_bus, clock, op_timeout_s=0.001,
+                         max_attempts=5)
+    queue.enqueue("x")
+    # slow link: every attempt times out until the link recovers
+    interim = queue.run(max_ops=2)
+    assert interim.rebuilt_extents == 0
+    assert interim.retries == 2
+    assert stats.fault_stats().transfer_timeouts == 2
+
+    raw_bus.set_slow_factor(1.0)
+    final = queue.run()
+    assert final.rebuilt_extents == 1
+    assert small_pool.fully_redundant
+
+
+def test_rebuild_reports_unrecoverable_without_retrying(
+        small_pool, raw_bus, clock):
+    small_pool.store("x", PAYLOAD)
+    for index in range(3):  # tolerance is 2
+        small_pool.erase_fragment("x", index)
+    queue = RebuildQueue(small_pool, raw_bus, clock)
+    queue.scan_and_enqueue()
+    report = queue.run()
+    assert report.unrecoverable == ["x"]
+    assert report.retries == 0
+    assert len(queue) == 0
+
+
+# --- bus faults -------------------------------------------------------------
+
+
+def test_bus_fault_modes(raw_bus, clock):
+    raw_bus.inject_drops(1)
+    with pytest.raises(TransferDroppedError):
+        raw_bus.transfer(1024)
+    # the drop consumed itself; the retry goes through
+    assert raw_bus.transfer(1024) > 0
+
+    raw_bus.partition()
+    with pytest.raises(NetworkPartitionedError):
+        raw_bus.transfer(1024)
+    raw_bus.heal_partition()
+
+    clean = raw_bus.transfer(1 << 20)
+    raw_bus.set_slow_factor(4.0)
+    assert raw_bus.transfer(1 << 20) == pytest.approx(4.0 * clean)
+    with pytest.raises(TransferTimeoutError):
+        raw_bus.transfer(1 << 20, timeout_s=clean)
+    raw_bus.set_slow_factor(1.0)
+    assert raw_bus.transfer(1 << 20, timeout_s=2 * clean) == pytest.approx(clean)
+
+
+# --- torn group commits -----------------------------------------------------
+
+
+def test_pool_torn_commit_keeps_durable_prefix(small_pool: StoragePool):
+    items = [(f"t{i}", bytes([i]) * 2048) for i in range(4)]
+    small_pool.arm_torn_commit(2)
+    with pytest.raises(TornWriteError) as excinfo:
+        small_pool.store_batch(items)
+    assert excinfo.value.durable == ["t0", "t1"]
+    assert excinfo.value.lost == ["t2", "t3"]
+    assert stats.fault_stats().torn_commits == 1
+    for key, payload in items[:2]:
+        data, _ = small_pool.fetch(key)
+        assert data == payload
+    assert not small_pool.has_extent("t2")
+    assert not small_pool.has_extent("t3")
+    # the armed tear is one-shot: the retry commits cleanly
+    small_pool.store_batch([(f"r{i}", b"retry" * 100) for i in range(4)])
+    assert small_pool.has_extent("r3")
+
+
+def test_plog_torn_commit_acks_exact_prefix(small_pool, clock):
+    plogs = PLogManager(small_pool, clock)
+    items = [(f"k{i}", bytes([65 + i]) * 1024) for i in range(5)]
+    small_pool.arm_torn_commit(3)
+    with pytest.raises(TornWriteError) as excinfo:
+        plogs.append_batch(items)
+    assert excinfo.value.durable == ["k0", "k1", "k2"]
+    assert excinfo.value.lost == ["k3", "k4"]
+    for key, payload in items[:3]:
+        data, _ = plogs.read_key(key)
+        assert data == payload
+    for key, _ in items[3:]:
+        with pytest.raises(ObjectNotFoundError):
+            plogs.read_key(key)
+    assert plogs.appends == 3
+
+
+def test_stream_object_serves_durable_slices_after_torn_commit(
+        small_pool, clock):
+    plogs = PLogManager(small_pool, clock)
+    obj = StreamObject("topic/0", plogs, clock)
+    records = [
+        MessageRecord("topic", f"k{i}", f"v{i}".encode())
+        for i in range(2 * RECORDS_PER_SLICE)
+    ]
+    small_pool.arm_torn_commit(1)  # 2 slices in the group commit: tear at 1
+    with pytest.raises(TornWriteError):
+        obj.append(records)
+    # only the acked slice is registered and served
+    assert len(obj.sealed_slices()) == 1
+    got, _ = obj.read(0, control=None)
+    assert [r.value for r in got] == [
+        r.value for r in records[:RECORDS_PER_SLICE]
+    ]

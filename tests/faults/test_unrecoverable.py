@@ -1,0 +1,73 @@
+"""Satellite: UnrecoverableDataError names the actually-erased shards.
+
+When erasures exceed the policy's tolerance the error must carry the
+exact shard indices that were lost — operators triage from that list —
+for single-extent stores and for ``append_batch`` group commits alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnrecoverableDataError
+from repro.storage.plog import PLogManager
+
+
+PAYLOAD = b"streamlake-durability" * 97
+
+
+def test_single_slice_names_erased_shards(ec_pool):
+    ec_pool.store("x", PAYLOAD)
+    for index in (0, 2, 5):  # RS(4+2): three losses exceed tolerance
+        ec_pool.erase_fragment("x", index)
+    with pytest.raises(UnrecoverableDataError) as excinfo:
+        ec_pool.fetch("x")
+    assert excinfo.value.failed_shards == [0, 2, 5]
+
+
+def test_latent_corruption_counts_as_erasure(ec_pool):
+    ec_pool.store("x", PAYLOAD)
+    ec_pool.erase_fragment("x", 1)
+    ec_pool.corrupt_fragment("x", 3)
+    ec_pool.corrupt_fragment("x", 4)
+    with pytest.raises(UnrecoverableDataError) as excinfo:
+        ec_pool.fetch("x")
+    assert excinfo.value.failed_shards == [1, 3, 4]
+
+
+def test_replication_names_all_replicas(replicated_pool):
+    replicated_pool.store("x", PAYLOAD)
+    for index in range(3):
+        replicated_pool.erase_fragment("x", index)
+    with pytest.raises(UnrecoverableDataError) as excinfo:
+        replicated_pool.fetch("x")
+    assert excinfo.value.failed_shards == [0, 1, 2]
+
+
+def test_group_commit_read_names_erased_shards(ec_pool, clock):
+    plogs = PLogManager(ec_pool, clock)
+    items = [(f"k{i}", bytes([i]) * 4096) for i in range(6)]
+    plogs.append_batch(items)
+
+    victim = plogs.index.get("addr/k3")
+    assert victim is not None
+    for index in (1, 2, 4):
+        ec_pool.erase_fragment(victim, index)
+
+    with pytest.raises(UnrecoverableDataError) as excinfo:
+        plogs.read_key("k3")
+    assert excinfo.value.failed_shards == [1, 2, 4]
+    # group members that kept their fragments still read fine
+    for key, payload in items:
+        if key == "k3":
+            continue
+        data, _ = plogs.read_key(key)
+        assert data == payload
+
+
+def test_within_tolerance_is_not_unrecoverable(ec_pool):
+    ec_pool.store("x", PAYLOAD)
+    ec_pool.erase_fragment("x", 0)
+    ec_pool.erase_fragment("x", 5)
+    data, _ = ec_pool.fetch("x")
+    assert data == PAYLOAD
