@@ -196,6 +196,46 @@ class FaultStats:
         }
 
 
+class AggregationStats:
+    """Counters for the vectorized storage-side aggregation engine.
+
+    The global :data:`AGGREGATION` instance is incremented by
+    :mod:`repro.table.agg` (the GROUP BY kernel and footer fast path)
+    and by ``TableObject.select``; ``bench_agg.py`` surfaces a snapshot
+    the way ``bench_ingest.py`` surfaces :class:`IngestStats`.
+    """
+
+    def __init__(self) -> None:
+        self.queries = 0                    # vectorized aggregate SELECTs
+        self.row_groups_aggregated = 0      # row groups reduced from data chunks
+        self.row_groups_footer_answered = 0  # answered from footer stats alone
+        self.rows_aggregated = 0            # rows folded into partials
+        self.partials_merged = 0            # group partials merged across files
+        self.groups_emitted = 0             # result groups shipped over the bus
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "queries": self.queries,
+            "row_groups_aggregated": self.row_groups_aggregated,
+            "row_groups_footer_answered": self.row_groups_footer_answered,
+            "rows_aggregated": self.rows_aggregated,
+            "partials_merged": self.partials_merged,
+            "groups_emitted": self.groups_emitted,
+        }
+
+
+#: Global aggregation-engine counters (see :class:`AggregationStats`).
+AGGREGATION = AggregationStats()
+
+
+def aggregation_stats() -> AggregationStats:
+    """Return the global vectorized-aggregation counters."""
+    return AGGREGATION
+
+
 #: Global fault/recovery counters (see :class:`FaultStats`).
 FAULTS = FaultStats()
 

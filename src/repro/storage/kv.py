@@ -39,6 +39,10 @@ class KVEngine:
         self._read_cost = read_cost_s
         self._write_cost = write_cost_s
         self._keys: list[str] = []
+        #: writes append in O(1) and set this False when they land out of
+        #: order; the first ordered read re-sorts once (lazy LSM-style
+        #: ordering — bulk loads stop paying O(n) list inserts per put)
+        self._sorted = True
         self._data: dict[str, object] = {}
         self.reads = 0
         self.writes = 0
@@ -49,10 +53,18 @@ class KVEngine:
     def __contains__(self, key: str) -> bool:
         return key in self._data
 
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._keys.sort()
+            self._sorted = True
+
     def put(self, key: str, value: object) -> float:
         """Insert or overwrite; returns simulated seconds charged."""
         if key not in self._data:
-            self._keys.insert(bisect_left(self._keys, key), key)
+            self._keys.append(key)
+            if (self._sorted and len(self._keys) > 1
+                    and self._keys[-2] > key):
+                self._sorted = False
         self._data[key] = value
         self.writes += 1
         self._clock.charge(self.name, self._write_cost)
@@ -69,6 +81,7 @@ class KVEngine:
         if key not in self._data:
             return False
         del self._data[key]
+        self._ensure_sorted()
         self._keys.pop(bisect_left(self._keys, key))
         self.writes += 1
         self._clock.charge(self.name, self._write_cost)
@@ -79,6 +92,7 @@ class KVEngine:
 
         Cost: one round trip plus a per-row transfer term.
         """
+        self._ensure_sorted()
         start = bisect_left(self._keys, prefix)
         end = bisect_right(self._keys, prefix + "￿")
         rows = self._keys[start:end]
@@ -89,6 +103,7 @@ class KVEngine:
 
     def scan_range(self, low: str, high: str) -> Iterator[tuple[str, object]]:
         """Ordered iteration over keys in [low, high)."""
+        self._ensure_sorted()
         start = bisect_left(self._keys, low)
         end = bisect_left(self._keys, high)
         rows = self._keys[start:end]
@@ -98,6 +113,7 @@ class KVEngine:
             yield key, self._data[key]
 
     def keys(self) -> list[str]:
+        self._ensure_sorted()
         return list(self._keys)
 
     def clear_prefix(self, prefix: str) -> int:

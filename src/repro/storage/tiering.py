@@ -97,6 +97,13 @@ class TieringService:
     def run_migration_cycle(self) -> tuple[int, int]:
         """One policy pass: returns (demoted, promoted) extent counts."""
         now = self._clock.now
+        # prune every record's hit window so access tracking stays bounded
+        # even for extents that are never fetched again (fetch prunes its
+        # own record; cold extents only see this tick)
+        window_start = now - self.policy.promote_window_s
+        for record in self._access.values():
+            if record.recent and record.recent[0] < window_start:
+                record.recent = [t for t in record.recent if t >= window_start]
         demoted = 0
         for extent_id in self.hot.extent_ids():
             record = self._access.get(extent_id)
@@ -107,13 +114,11 @@ class TieringService:
                 demoted += 1
                 self.demotions += 1
         promoted = 0
-        window_start = now - self.policy.promote_window_s
         for extent_id in self.cold.extent_ids():
             record = self._access.get(extent_id)
             if record is None:
                 continue
-            hits = sum(1 for t in record.recent if t >= window_start)
-            if hits >= self.policy.promote_hits:
+            if len(record.recent) >= self.policy.promote_hits:
                 self._move(extent_id, self.cold, self.hot)
                 promoted += 1
                 self.promotions += 1

@@ -18,7 +18,9 @@ from repro.table.snapshot import Snapshot, SnapshotLog
 from repro.table.catalog import Catalog, TableInfo
 from repro.table.metacache import (AcceleratedMetadataStore,
     FileMetadataStore, MetadataStore)
-from repro.table.pushdown import AggregateSpec, execute_pushdown
+from repro.table.pushdown import (AggregateSpec, execute_pushdown,
+    execute_pushdown_multi, result_labels)
+from repro.table.agg import AggregateState, aggregate_file, footer_answerable
 from repro.table.table import Lakehouse, QueryStats, TableObject
 from repro.table.conversion import StreamTableConverter
 from repro.table.sql import SQLError, parse_select, query
@@ -51,6 +53,11 @@ __all__ = [
     "FileMetadataStore",
     "AggregateSpec",
     "execute_pushdown",
+    "execute_pushdown_multi",
+    "result_labels",
+    "AggregateState",
+    "aggregate_file",
+    "footer_answerable",
     "TableObject",
     "Lakehouse",
     "QueryStats",

@@ -472,6 +472,54 @@ class ColumnarFile:
             )
         return out
 
+    def select_vectors(self, columns: list[str],
+                       predicate: Expression | None = None,
+                       cache: ChunkCache | None = None):
+        """Vectorized column access: per surviving row group, yield
+        ``(vectors, mask, num_rows)`` without building a single row.
+
+        ``vectors`` maps each requested column to its decoded typed
+        vector (values + validity mask, through the shared chunk cache);
+        ``mask`` is the predicate's boolean match mask over the group
+        (``None`` when unpredicated).  Row groups pruned by footer
+        statistics or whose mask is all-False are skipped before the
+        requested columns decode.  This is the decode layer under the
+        aggregation engine (:mod:`repro.table.agg`).
+        """
+        self._validate_projection(predicate, columns)
+        cache = cache if cache is not None else default_chunk_cache()
+        for group in self._groups:
+            if predicate is not None and not predicate.possibly_matches(
+                group.stats
+            ):
+                continue
+            mask = None
+            decoded: dict[str, ColumnVector] = {}
+            if predicate is not None:
+                for name in predicate.columns():
+                    decoded[name] = self._vector(group, name, cache)
+                mask = predicate.mask(decoded, group.num_rows)
+                if not mask.any():
+                    continue
+            vectors = {}
+            for name in columns:
+                vector = decoded.get(name)
+                if vector is None:
+                    vector = self._vector(group, name, cache)
+                vectors[name] = vector
+            yield vectors, mask, group.num_rows
+
+    def group_summaries(self) -> list[
+        tuple[int, dict[str, tuple[object, object]], dict[str, int]]
+    ]:
+        """Per-row-group ``(num_rows, stats, null_counts)`` straight from
+        the footer — the aggregation engine's MIN/MAX/COUNT fast path
+        reads these without decompressing any data chunk."""
+        return [
+            (group.num_rows, dict(group.stats), dict(group.null_counts))
+            for group in self._groups
+        ]
+
     def scan_rows(self, predicate: Expression | None = None,
                   columns: list[str] | None = None) -> list[dict[str, object]]:
         """Row-at-a-time scan (the pre-vectorization path).

@@ -10,7 +10,8 @@ Supported grammar (case-insensitive keywords)::
     [LIMIT <n>]
 
 where ``<item>`` is ``*``, a column, or ``COUNT(*)|SUM(c)|AVG(c)|MIN(c)|
-MAX(c)`` with an optional ``AS alias``; ``<op>`` is one of
+MAX(c)`` with an optional ``AS alias`` (several aggregates may share one
+statement: ``SELECT COUNT(*), SUM(c) ... GROUP BY k``); ``<op>`` is one of
 ``= < <= > >= IN``; literals are ints, floats or quoted strings.  SQL
 comments (``-- ...``) are stripped, so the paper's annotated listing
 parses as printed.
@@ -27,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SchemaError
 from repro.table.expr import And, Expression, Predicate, split_conjuncts
-from repro.table.pushdown import AggregateSpec
+from repro.table.pushdown import AggregateSpec, result_labels
 from repro.table.table import Lakehouse, QueryStats, TableObject
 
 _AGG_RE = re.compile(
@@ -189,8 +190,6 @@ def parse_select(sql: str) -> SelectStatement:
                           flags=re.IGNORECASE).strip()
     limit = int(match.group("limit")) if match.group("limit") else None
     aggregates = [item for item in items if item.aggregate]
-    if len(aggregates) > 1:
-        raise SQLError("at most one aggregate per statement is supported")
     if aggregates and star:
         raise SQLError("cannot mix * with aggregates")
     return SelectStatement(
@@ -213,17 +212,28 @@ def execute_select(statement: SelectStatement, lakehouse: Lakehouse,
     table: TableObject = lakehouse.table(statement.table)
     aggregates = [item for item in statement.items if item.aggregate]
     if aggregates:
-        function, column = aggregates[0].aggregate  # type: ignore[misc]
-        spec = AggregateSpec(function, column, group_by=statement.group_by)
+        specs = [
+            AggregateSpec(item.aggregate[0], item.aggregate[1],  # type: ignore[index]
+                          group_by=statement.group_by)
+            for item in aggregates
+        ]
         rows = table.select(
-            predicate=statement.predicate, aggregate=spec,
+            predicate=statement.predicate,
+            aggregate=specs[0] if len(specs) == 1 else specs,
             as_of=as_of, stats=stats,
         )
-        rename = {function: aggregates[0].output_name}
-        rows = [
-            {rename.get(key, key): value for key, value in row.items()}
-            for row in rows
-        ]
+        # a single aggregate keeps its bare-function key unless aliased;
+        # multiple aggregates already carry distinct FUNCTION(col) keys
+        rename = {
+            label: item.alias
+            for label, item in zip(result_labels(specs), aggregates)
+            if item.alias
+        }
+        if rename:
+            rows = [
+                {rename.get(key, key): value for key, value in row.items()}
+                for row in rows
+            ]
     else:
         if statement.group_by:
             raise SQLError("GROUP BY requires an aggregate")

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.clock import SimClock
+from repro.common.stats import aggregation_stats
 from repro.errors import (
     CommitConflictError,
     OutOfMemoryError,
@@ -33,13 +34,18 @@ from repro.errors import (
 from repro.storage.bus import DataBus
 from repro.storage.kv import KVEngine
 from repro.storage.pool import StoragePool
+from repro.table.agg import AggregateState, aggregate_file
 from repro.table.catalog import Catalog, TableInfo
 from repro.table.chunkcache import ChunkCache, default_chunk_cache
 from repro.table.columnar import ColumnarFile, ROW_GROUP_SIZE, gather_column
 from repro.table.commit import CommitFile, DataFileMeta
 from repro.table.expr import Expression
 from repro.table.metacache import AcceleratedMetadataStore, MetadataStore
-from repro.table.pushdown import AggregateSpec, execute_pushdown, result_size_bytes
+from repro.table.pushdown import (
+    AggregateSpec,
+    execute_pushdown_multi,
+    result_size_bytes,
+)
 from repro.table.schema import PartitionSpec, Schema
 from repro.table.snapshot import SnapshotLog
 from repro.table.vector import ColumnVector, NumericVector
@@ -329,12 +335,21 @@ class TableObject:
 
     def select(self, predicate: Expression | None = None,
                columns: list[str] | None = None,
-               aggregate: AggregateSpec | None = None,
+               aggregate: "AggregateSpec | list[AggregateSpec] | None" = None,
                as_of: float | None = None,
                memory_budget_bytes: int | None = None,
                read_parallelism: int = 1,
                stats: QueryStats | None = None) -> list[dict[str, object]]:
         """SELECT with pushdown; populates ``stats`` when provided.
+
+        ``aggregate`` accepts one :class:`AggregateSpec` or a list of
+        specs sharing a GROUP BY (``SELECT COUNT(*), SUM(x) ...``).
+        Aggregates run through the vectorized engine
+        (:mod:`repro.table.agg`): each file folds into per-row-group
+        partial aggregates that merge across files, so only group keys
+        and partial scalars — never rows — exist on the compute side.
+        Un-predicated, un-grouped COUNT/MIN/MAX queries are answered
+        from row-group footers without decoding any data chunk.
 
         ``read_parallelism`` models the paper's parallel read tasks
         ("data is read from the persistence pool by read tasks",
@@ -384,11 +399,14 @@ class TableObject:
                 continue
             candidates.append(meta)
         rows: list[dict[str, object]] = []
-        needed_columns = columns
-        count_star = aggregate is not None and aggregate.is_count_star
-        matched = 0
+        specs: list[AggregateSpec] | None = None
+        state: AggregateState | None = None
         if aggregate is not None:
-            needed_columns = sorted(aggregate.columns()) or []
+            specs = (
+                [aggregate] if isinstance(aggregate, AggregateSpec)
+                else list(aggregate)
+            )
+            state = AggregateState(specs)  # validates the shared GROUP BY
         read_costs: list[float] = []
         cache = self._chunk_cache
         hits_before = cache.stats.hits
@@ -404,24 +422,27 @@ class TableObject:
                     predicate
                 )
             stats.rows_scanned += data_file.num_rows
-            if count_star:
-                matched += data_file.count(predicate, cache=cache)
+            if state is not None:
+                state.merge(aggregate_file(
+                    data_file, specs, state.labels, predicate, cache
+                ))
             else:
-                rows.extend(data_file.scan(predicate, needed_columns, cache=cache))
+                rows.extend(data_file.scan(predicate, columns, cache=cache))
         stats.chunk_cache_hits += cache.stats.hits - hits_before
         stats.chunk_cache_misses += cache.stats.misses - misses_before
         stats.data_cost_s += _parallel_read_time(read_costs, read_parallelism)
         if memory_budget_bytes is not None and not accelerated:
-            working = (matched if count_star else len(rows)) * EXECUTION_BYTES_PER_ROW
+            # aggregates hold group partials, never rows, on the compute side
+            held = len(state.groups) if state is not None else len(rows)
+            working = held * EXECUTION_BYTES_PER_ROW
             if working > memory_budget_bytes:
                 raise OutOfMemoryError(
                     f"{self.name}: execution working set {working} bytes "
                     f"exceeds budget {memory_budget_bytes}"
                 )
-        if count_star:
-            result = [{aggregate.function: matched}]
-        elif aggregate is not None:
-            result = execute_pushdown(rows, aggregate)
+        if state is not None:
+            aggregation_stats().queries += 1
+            result = state.rows()
         else:
             result = rows
         stats.rows_returned = len(result)
@@ -429,6 +450,45 @@ class TableObject:
         stats.data_cost_s += self._bus.transfer(stats.bytes_transferred)
         self._clock.advance(stats.data_cost_s)
         return result
+
+    def select_rows(self, predicate: Expression | None = None,
+                    columns: list[str] | None = None,
+                    aggregate: "AggregateSpec | list[AggregateSpec] | None" = None,
+                    as_of: float | None = None) -> list[dict[str, object]]:
+        """Row-at-a-time SELECT (the pre-vectorization path).
+
+        Kept as the equivalence oracle, matching the repo's ``scan_rows``
+        / ``compact_rows`` pattern: every row materializes as a Python
+        dict and aggregates run through the row-wise accumulator
+        (:func:`~repro.table.pushdown.execute_pushdown_multi`).  Charges
+        no simulated time — it exists to assert :meth:`select` returns
+        identical rows, not to model a query.
+        """
+        snapshot = (
+            self.snapshots.snapshot_at(as_of) if as_of is not None else None
+        )
+        specs: list[AggregateSpec] | None = None
+        if aggregate is not None:
+            specs = (
+                [aggregate] if isinstance(aggregate, AggregateSpec)
+                else list(aggregate)
+            )
+            columns = sorted(
+                {name for spec in specs for name in spec.columns()}
+            ) or []
+        rows: list[dict[str, object]] = []
+        for meta in self.snapshots.live_files(snapshot):
+            if predicate is not None and not predicate.possibly_matches(
+                meta.stats()
+            ):
+                continue
+            payload, _ = self._pool.fetch(meta.path)
+            rows.extend(
+                ColumnarFile.from_bytes(payload).scan_rows(predicate, columns)
+            )
+        if specs is not None:
+            return execute_pushdown_multi(rows, specs)
+        return rows
 
     # --- mutations ----------------------------------------------------------------
 

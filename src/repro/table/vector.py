@@ -66,6 +66,18 @@ class ColumnVector:
         """Materialize the whole chunk as Python objects."""
         raise NotImplementedError
 
+    def factorize(self, indices: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, list[object]]:
+        """Dense GROUP BY codes: ``(codes, uniques)`` over selected rows.
+
+        ``uniques`` holds distinct Python values — with ``None`` appended
+        last when the selection contains nulls — and ``codes`` is an intp
+        array (one entry per selected row, all rows when ``indices`` is
+        None) indexing into it.  Used by the aggregation kernel to turn
+        group keys into ``np.bincount``/``reduceat`` segment ids.
+        """
+        raise NotImplementedError
+
 
 class NumericVector(ColumnVector):
     """INT64/TIMESTAMP, FLOAT64 or BOOL values with a validity mask."""
@@ -115,6 +127,19 @@ class NumericVector(ColumnVector):
         valid = self._valid.tolist()
         return [v if ok else None for v, ok in zip(values, valid)]
 
+    def factorize(self, indices: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, list[object]]:
+        values = self.values if indices is None else self.values[indices]
+        valid = self._valid if indices is None else self._valid[indices]
+        present, inverse = np.unique(values[valid], return_inverse=True)
+        # nulls (if any) share the one code just past the present values
+        codes = np.full(len(values), len(present), dtype=np.intp)
+        codes[valid] = inverse
+        uniques: list[object] = present.tolist()
+        if not bool(valid.all()):
+            uniques.append(None)
+        return codes, uniques
+
 
 class DictStringVector(ColumnVector):
     """Dictionary-coded strings: distinct values + uint32 codes.
@@ -160,3 +185,18 @@ class DictStringVector(ColumnVector):
             None if code == null_code else dictionary[code]
             for code in self.codes.tolist()
         ]
+
+    def factorize(self, indices: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, list[object]]:
+        codes = self.codes if indices is None else self.codes[indices]
+        used, inverse = np.unique(codes, return_inverse=True)
+        null_code = len(self.dictionary)
+        # np.unique sorts, and the null code is the largest, so nulls
+        # (when present) land in the last slot — the factorize contract
+        uniques: list[object] = [
+            self.dictionary[code] for code in used.tolist()
+            if code != null_code
+        ]
+        if used.size and int(used[-1]) == null_code:
+            uniques.append(None)
+        return inverse.astype(np.intp, copy=False), uniques

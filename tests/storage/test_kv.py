@@ -122,3 +122,48 @@ def test_model_based_put_delete_sequence(operations):
     assert kv.keys() == sorted(model)
     for key, value in model.items():
         assert kv.get(key) == value
+
+
+# --- lazy re-sort on bulk loads -----------------------------------------
+
+
+def test_bulk_load_stays_unsorted_until_first_ordered_read(kv):
+    for index in (5, 3, 9, 1):
+        kv.put(f"k{index}", index)
+    assert kv._sorted is False
+    assert kv.keys() == ["k1", "k3", "k5", "k9"]  # first ordered read sorts
+    assert kv._sorted is True
+
+
+def test_in_order_appends_never_trigger_a_resort(kv):
+    for index in range(10):
+        kv.put(f"k{index}", index)
+    assert kv._sorted is True
+    assert kv.keys() == [f"k{index}" for index in range(10)]
+
+
+def test_overwrite_does_not_duplicate_or_unsort(kv):
+    kv.put("b", 1)
+    kv.put("a", 1)
+    kv.put("a", 2)  # overwrite while unsorted
+    assert kv.keys() == ["a", "b"]
+    assert len(kv) == 2
+
+
+def test_delete_and_scan_interleaved_with_unsorted_puts(kv):
+    for key in ("z", "m", "a"):
+        kv.put(key, key)
+    assert kv.delete("m") is True  # delete forces the lazy sort first
+    kv.put("b", "b")               # unsorted again
+    assert [k for k, _ in kv.scan("")] == ["a", "b", "z"]
+    assert [k for k, _ in kv.scan_range("a", "c")] == ["a", "b"]
+
+
+def test_put_cost_unchanged_by_lazy_sort():
+    clock = SimClock()
+    kv = KVEngine("cost", clock)
+    kv.put("z", 0)
+    one_put = clock.busy_time("cost")
+    for index in range(99):
+        kv.put(f"k{index}", index)
+    assert clock.busy_time("cost") == pytest.approx(one_put * 100)

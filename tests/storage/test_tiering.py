@@ -99,3 +99,39 @@ def test_counters(tiering):
     clock.advance(150)
     service.run_migration_cycle()
     assert service.demotions == 1
+
+
+def test_access_tracking_is_bounded_by_the_promote_window(tiering):
+    service, clock = tiering
+    service.store("x", b"payload")
+    for _ in range(10):
+        service.fetch("x")
+        clock.advance(10.0)
+    # window is 50s at 10s spacing: at most window/spacing + 1 hits survive
+    record = service._access["x"]
+    assert len(record.recent) <= 6
+
+
+def test_migration_tick_prunes_stale_hit_windows(tiering):
+    service, clock = tiering
+    service.store("x", b"payload")
+    service.fetch("x")
+    service.fetch("x")
+    # never fetched again: only the tick can prune this record
+    clock.advance(1000.0)
+    service.run_migration_cycle()
+    assert service._access["x"].recent == []
+
+
+def test_stale_hits_do_not_promote_after_pruning(tiering):
+    service, clock = tiering
+    service.store("x", b"payload")
+    service.fetch("x")
+    service.fetch("x")  # 2 hits = promote threshold, but they go stale
+    clock.advance(200.0)
+    service.run_migration_cycle()  # demotes (idle 200s > 100s)
+    assert service.tier_of("x") == "cold"
+    clock.advance(10.0)
+    _, promoted = service.run_migration_cycle()
+    assert promoted == 0
+    assert service.tier_of("x") == "cold"

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.table.pushdown import AggregateSpec, execute_pushdown, result_size_bytes
+from repro.table.pushdown import (
+    AggregateSpec,
+    execute_pushdown,
+    execute_pushdown_multi,
+    result_labels,
+    result_size_bytes,
+)
 
 ROWS = [
     {"province": "bj", "bytes": 10, "user": 1},
@@ -43,10 +49,21 @@ def test_sum_ignores_nulls():
     }
 
 
-def test_avg():
+def test_avg_skips_nulls():
     out = execute_pushdown(ROWS, AggregateSpec("AVG", "bytes"))
-    # AVG divides by group count (4 rows) per accumulator semantics
-    assert out[0]["AVG"] == pytest.approx(60 / 4)
+    # SQL AVG divides by the non-null count (3), not the row count (4)
+    assert out[0]["AVG"] == pytest.approx(60 / 3)
+
+
+def test_count_column_skips_nulls():
+    out = execute_pushdown(ROWS, AggregateSpec("COUNT", "bytes"))
+    assert out == [{"COUNT": 3}]
+
+
+def test_avg_all_null_group_is_none():
+    rows = [{"k": "a", "v": None}, {"k": "a", "v": None}]
+    out = execute_pushdown(rows, AggregateSpec("AVG", "v", group_by=("k",)))
+    assert out == [{"k": "a", "AVG": None}]
 
 
 def test_min_max():
@@ -85,3 +102,39 @@ def test_columns_needed():
 def test_result_size_small_for_aggregates():
     out = execute_pushdown(ROWS, AggregateSpec("COUNT", group_by=("province",)))
     assert result_size_bytes(out) < 100
+
+
+def test_multi_aggregate_shared_group_by():
+    specs = [
+        AggregateSpec("COUNT", group_by=("province",)),
+        AggregateSpec("SUM", "bytes", group_by=("province",)),
+        AggregateSpec("AVG", "bytes", group_by=("province",)),
+    ]
+    out = execute_pushdown_multi(ROWS, specs)
+    assert out == [
+        {"province": "bj", "COUNT(*)": 2, "SUM(bytes)": 30.0,
+         "AVG(bytes)": pytest.approx(15.0)},
+        {"province": "sh", "COUNT(*)": 2, "SUM(bytes)": 30.0,
+         "AVG(bytes)": pytest.approx(30.0)},
+    ]
+
+
+def test_multi_aggregate_mismatched_group_by_raises():
+    with pytest.raises(ValueError):
+        execute_pushdown_multi(ROWS, [
+            AggregateSpec("COUNT", group_by=("province",)),
+            AggregateSpec("SUM", "bytes"),
+        ])
+
+
+def test_result_labels_single_keeps_bare_function():
+    assert result_labels([AggregateSpec("SUM", "bytes")]) == ["SUM"]
+
+
+def test_result_labels_deduplicate():
+    labels = result_labels([
+        AggregateSpec("SUM", "bytes"),
+        AggregateSpec("SUM", "bytes"),
+        AggregateSpec("COUNT"),
+    ])
+    assert labels == ["SUM(bytes)", "SUM(bytes)_2", "COUNT(*)"]

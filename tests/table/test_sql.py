@@ -125,9 +125,34 @@ def test_unparseable_raises():
         parse_select("SELECT a FROM t WHERE ???")
 
 
-def test_multiple_aggregates_unsupported():
-    with pytest.raises(SQLError):
-        parse_select("SELECT COUNT(*), SUM(x) FROM t")
+def test_multiple_aggregates_parse():
+    statement = parse_select("SELECT COUNT(*), SUM(x) FROM t")
+    assert [item.aggregate for item in statement.items] == [
+        ("COUNT", None), ("SUM", "x"),
+    ]
+
+
+def test_multiple_aggregates_execute(loaded_lakehouse):
+    rows = query(
+        loaded_lakehouse,
+        "SELECT COUNT(*), SUM(bytes), AVG(bytes) FROM TB_DPI_LOG_HOURS "
+        "GROUP BY province ORDER BY province",
+    )
+    assert [row["province"] for row in rows] == ["p0", "p1", "p2"]
+    for row in rows:
+        assert row["COUNT(*)"] == 40
+        assert row["AVG(bytes)"] == pytest.approx(
+            row["SUM(bytes)"] / row["COUNT(*)"]
+        )
+    assert sum(row["SUM(bytes)"] for row in rows) == sum(range(120))
+
+
+def test_multiple_aggregates_with_aliases(loaded_lakehouse):
+    rows = query(
+        loaded_lakehouse,
+        "SELECT COUNT(*) AS n, MAX(bytes) AS top FROM TB_DPI_LOG_HOURS",
+    )
+    assert rows == [{"n": 120, "top": 119}]
 
 
 def test_pushdown_stats_populated(loaded_lakehouse):

@@ -319,3 +319,84 @@ def test_query_stats_report_chunk_cache_traffic(lakehouse):
     table.select(predicate=predicate, stats=second)
     assert second.chunk_cache_misses == 0
     assert second.chunk_cache_hits > 0
+
+
+# --- vectorized aggregation through SELECT -------------------------------
+
+
+def test_select_multi_aggregate(table):
+    table.insert(rows_for(40))
+    rows = table.select(aggregate=[
+        AggregateSpec("COUNT", group_by=("city",)),
+        AggregateSpec("SUM", "value", group_by=("city",)),
+        AggregateSpec("AVG", "value", group_by=("city",)),
+    ])
+    assert [row["city"] for row in rows] == ["bj", "sh"]
+    for row in rows:
+        assert row["COUNT(*)"] == 20
+        assert row["AVG(value)"] == pytest.approx(row["SUM(value)"] / 20)
+    assert sum(row["SUM(value)"] for row in rows) == sum(range(40))
+
+
+def test_select_aggregate_matches_select_rows_oracle(table):
+    table.insert(rows_for(60))
+    table.insert(rows_for(30, days=(3,)))
+    predicate = Predicate("value", ">=", 5)
+    for aggregate in [
+        AggregateSpec("COUNT"),
+        AggregateSpec("SUM", "value", group_by=("city", "day")),
+        AggregateSpec("MIN", "city"),
+        [AggregateSpec("COUNT", group_by=("day",)),
+         AggregateSpec("MAX", "value", group_by=("day",))],
+    ]:
+        assert table.select(predicate=predicate, aggregate=aggregate) == (
+            table.select_rows(predicate=predicate, aggregate=aggregate)
+        )
+
+
+def test_select_rows_oracle_matches_plain_select(table):
+    table.insert(rows_for(25))
+    predicate = Predicate("city", "=", "bj")
+    assert sorted(
+        table.select(predicate=predicate), key=lambda r: r["value"]
+    ) == sorted(
+        table.select_rows(predicate=predicate), key=lambda r: r["value"]
+    )
+
+
+def test_aggregate_memory_working_set_is_per_group(clock, ec_pool, bus):
+    """Grouped aggregates hold partials, not rows, on the compute side."""
+    from repro.table.metacache import FileMetadataStore
+    from repro.table.table import Lakehouse
+
+    lake = Lakehouse(
+        ec_pool, bus, clock, meta_store=FileMetadataStore(ec_pool, clock)
+    )
+    table = lake.create_table("t_agg", SCHEMA, PartitionSpec.by("city"))
+    table.insert(rows_for(100))
+    # 100 rows would need 6400 bytes; 2 groups need only 128
+    with pytest.raises(OutOfMemoryError):
+        table.select(memory_budget_bytes=2000)
+    rows = table.select(
+        aggregate=AggregateSpec("SUM", "value", group_by=("city",)),
+        memory_budget_bytes=2000,
+    )
+    assert sum(row["SUM"] for row in rows) == sum(range(100))
+
+
+def test_unpredicated_count_decodes_no_chunks(lakehouse):
+    from repro.table.chunkcache import ChunkCache
+
+    lakehouse.chunk_cache = ChunkCache()
+    table = lakehouse.create_table(
+        "events_footer", SCHEMA, PartitionSpec.by("city")
+    )
+    table.insert(rows_for(40))
+    stats = QueryStats()
+    out = table.select(
+        aggregate=[AggregateSpec("COUNT"), AggregateSpec("MIN", "value"),
+                   AggregateSpec("MAX", "value")],
+        stats=stats,
+    )
+    assert out == [{"COUNT(*)": 40, "MIN(value)": 0, "MAX(value)": 39}]
+    assert stats.chunk_cache_misses == 0 and stats.chunk_cache_hits == 0
