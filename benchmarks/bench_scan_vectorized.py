@@ -16,7 +16,7 @@ import time
 from pathlib import Path
 
 from repro.bench import ResultTable
-from repro.common.stats import CACHES
+from repro.common.context import current_context
 from repro.table.chunkcache import ChunkCache
 from repro.table.columnar import ColumnarFile
 from repro.table.expr import And, Predicate
@@ -99,7 +99,8 @@ def run_scan_bench(num_rows: int = NUM_ROWS,
         "speedup_warm": rowwise_s / warm_s,
         "chunk_cache": cache.stats.snapshot(),
         "global_caches": {
-            name: stats.snapshot() for name, stats in sorted(CACHES.items())
+            name: stats.snapshot()
+            for name, stats in sorted(current_context().caches.items())
         },
     }
     if result_path is not None:

@@ -75,3 +75,25 @@ class SimClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.6f}, meters={len(self._busy)})"
+
+
+def lpt_makespan(costs: list[float], parallelism: int) -> float:
+    """Makespan of tasks over ``parallelism`` workers (LPT greedy).
+
+    The wave model shared by the table read/write paths and the sharded
+    execution layer (:mod:`repro.parallel`): a batch of task costs
+    scheduled longest-processing-time-first over a fixed worker pool
+    takes the slowest worker's sum, not the total.  With one worker it
+    degenerates to the serial sum, so adding workers never changes the
+    amount of simulated work — only how it overlaps.
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    if not costs:
+        return 0.0
+    if parallelism == 1:
+        return sum(costs)
+    workers = [0.0] * parallelism
+    for cost in sorted(costs, reverse=True):
+        workers[workers.index(min(workers))] += cost
+    return max(workers)

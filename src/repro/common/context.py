@@ -1,0 +1,211 @@
+"""Per-shard execution contexts for the sharded data plane.
+
+The seed accumulated every counter in module-global singletons
+(``repro.common.stats.INGEST`` and friends) and shared one process-wide
+decoded-chunk cache, which caps the simulation at a single execution
+stream: two concurrent workers would interleave their counters and
+cache entries, and no per-shard result could ever be compared against a
+single-shard oracle.  The paper's deployment avoids exactly this by
+spreading slices over 4096 logical shards so the data plane scales out
+with nodes (Section IV-A / Fig 4(d)).
+
+An :class:`ExecutionContext` bundles everything a data-plane worker
+mutates while processing its shard of the work:
+
+* the per-path counters (:class:`~repro.common.stats.IngestStats`,
+  :class:`~repro.common.stats.ConversionStats`,
+  :class:`~repro.common.stats.AggregationStats`,
+  :class:`~repro.common.stats.FaultStats`) and the named cache-counter
+  registry;
+* a slot for the decoded-chunk cache
+  (:func:`repro.table.chunkcache.default_chunk_cache` creates it lazily
+  per context, so shards never share LRU state);
+* a seeded :class:`random.Random` for any stochastic decisions a worker
+  makes (deterministic per shard);
+* a :class:`~repro.common.clock.SimClock` handle, so a shard worker
+  advances *its own* simulated time and the driver reconciles the wave
+  as an LPT makespan (see :func:`repro.common.clock.lpt_makespan`).
+
+The *current* context is carried in a :class:`contextvars.ContextVar`,
+so worker threads (and forked worker processes) activate their shard's
+context without threading an argument through every call site; the
+module-level accessors in :mod:`repro.common.stats` resolve through it,
+which keeps the seed's ``ingest_stats()``-style call sites working
+unchanged.  A process-wide default context wraps the legacy globals so
+single-stream code (and every existing test) behaves exactly as before.
+
+Shard workers are created with :meth:`ExecutionContext.fork` and their
+results folded back with :meth:`ExecutionContext.merge`: every counter
+class is additive, so per-shard totals merged on join are value-identical
+to a single-shard run over the same work.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator
+
+from repro.common.clock import SimClock
+from repro.common.stats import (
+    AggregationStats,
+    CacheStats,
+    ConversionStats,
+    FaultStats,
+    IngestStats,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.table.chunkcache import ChunkCache
+
+#: Default decoded-chunk cache capacity per context (chunks); mirrors
+#: :data:`repro.table.chunkcache.DEFAULT_CAPACITY` without importing it
+#: (the table layer sits above the commons).
+DEFAULT_CHUNK_CACHE_CAPACITY = 256
+
+
+class ExecutionContext:
+    """Stats + cache + RNG + clock for one execution stream (shard)."""
+
+    def __init__(self, name: str = "default", *,
+                 ingest: IngestStats | None = None,
+                 conversion: ConversionStats | None = None,
+                 aggregation: AggregationStats | None = None,
+                 faults: FaultStats | None = None,
+                 caches: dict[str, CacheStats] | None = None,
+                 rng: random.Random | None = None,
+                 clock: SimClock | None = None,
+                 chunk_cache_capacity: int = DEFAULT_CHUNK_CACHE_CAPACITY,
+                 ) -> None:
+        self.name = name
+        self.ingest = ingest if ingest is not None else IngestStats()
+        self.conversion = (
+            conversion if conversion is not None else ConversionStats()
+        )
+        self.aggregation = (
+            aggregation if aggregation is not None else AggregationStats()
+        )
+        self.faults = faults if faults is not None else FaultStats()
+        self.caches: dict[str, CacheStats] = (
+            caches if caches is not None else {}
+        )
+        self.rng = rng if rng is not None else random.Random(0)
+        self.clock = clock if clock is not None else SimClock()
+        self.chunk_cache_capacity = chunk_cache_capacity
+        #: lazily created by :func:`repro.table.chunkcache.default_chunk_cache`
+        self.chunk_cache: "ChunkCache | None" = None
+
+    def cache_stats(self, name: str) -> CacheStats:
+        """This context's counters for the named cache (created on use)."""
+        stats = self.caches.get(name)
+        if stats is None:
+            stats = self.caches[name] = CacheStats()
+        return stats
+
+    def fork(self, name: str, seed: int | None = None) -> "ExecutionContext":
+        """A fresh child context for one shard worker.
+
+        The child starts with zeroed counters, an empty cache registry,
+        its own RNG (seeded from ``seed``, or deterministically from the
+        parent's RNG) and its own :class:`SimClock` starting at the
+        parent's current simulated time — so per-shard sim deltas are
+        directly comparable when the driver reconciles the wave.
+        """
+        if seed is None:
+            seed = self.rng.getrandbits(64)
+        return ExecutionContext(
+            name=name,
+            rng=random.Random(seed),
+            clock=SimClock(start=self.clock.now),
+            chunk_cache_capacity=self.chunk_cache_capacity,
+        )
+
+    def merge(self, other: "ExecutionContext") -> None:
+        """Fold a shard context's counters into this one (on join).
+
+        Only counters merge; the clock does not — the driver charges the
+        wave's elapsed sim time explicitly as an LPT makespan, which is
+        the whole point of per-shard clocks.
+        """
+        self.ingest.merge(other.ingest)
+        self.conversion.merge(other.conversion)
+        self.aggregation.merge(other.aggregation)
+        self.faults.merge(other.faults)
+        for name, stats in other.caches.items():
+            self.cache_stats(name).merge(stats)
+
+    def reset_stats(self) -> None:
+        """Zero every counter (cache registry entries included)."""
+        self.ingest.reset()
+        self.conversion.reset()
+        self.aggregation.reset()
+        self.faults.reset()
+        for stats in self.caches.values():
+            stats.reset()
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """All counters as plain dicts (bench/report serialization)."""
+        out: dict[str, dict[str, float]] = {
+            "ingest": self.ingest.snapshot(),
+            "conversion": self.conversion.snapshot(),
+            "aggregation": self.aggregation.snapshot(),
+            "faults": self.faults.snapshot(),
+        }
+        for name, stats in sorted(self.caches.items()):
+            out[f"cache:{name}"] = stats.snapshot()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionContext({self.name!r}, now={self.clock.now:.6f})"
+
+
+def _make_default() -> ExecutionContext:
+    """The process-wide default context, wrapping the legacy globals.
+
+    Importing the globals here (rather than fresh instances) keeps the
+    seed's ``stats.INGEST``-style references and the context-routed
+    accessors pointing at the same objects.
+    """
+    from repro.common import stats as _stats
+
+    return ExecutionContext(
+        name="default",
+        ingest=_stats.INGEST,
+        conversion=_stats.CONVERSION,
+        aggregation=_stats.AGGREGATION,
+        faults=_stats.FAULTS,
+        caches=_stats.CACHES,
+    )
+
+
+_DEFAULT = _make_default()
+
+_CURRENT: ContextVar[ExecutionContext] = ContextVar(
+    "repro_execution_context", default=_DEFAULT
+)
+
+
+def default_context() -> ExecutionContext:
+    """The process-wide default context (wraps the legacy globals)."""
+    return _DEFAULT
+
+
+def current_context() -> ExecutionContext:
+    """The active context (the default unless one was activated)."""
+    return _CURRENT.get()
+
+
+def activate_context(context: ExecutionContext) -> None:
+    """Make ``context`` current until replaced (worker-process entry)."""
+    _CURRENT.set(context)
+
+
+@contextmanager
+def use_context(context: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Scoped activation: the context is current inside the ``with``."""
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)

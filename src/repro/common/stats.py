@@ -5,17 +5,44 @@
 reporting (latency p50/p99) — bench runs are small enough that storing is
 fine and exact quantiles beat sketches for reproducibility.
 :class:`CacheStats` counts hits/misses/evictions for the caches in the
-system (decoded-chunk cache, metadata cache); named instances register in
-:data:`CACHES` so benches can report every cache's hit rate in one place.
+system (decoded-chunk cache, metadata cache).
+
+Counters are **per execution context** (see
+:mod:`repro.common.context`): the accessors (:func:`ingest_stats`,
+:func:`conversion_stats`, :func:`aggregation_stats`, :func:`fault_stats`,
+:func:`cache_stats`) resolve through the *current*
+:class:`~repro.common.context.ExecutionContext`, so a shard worker that
+activates its own context gets private counters that merge back on join.
+Every counter class is strictly additive and exposes :meth:`merge`, so
+per-shard totals folded together are value-identical to a single-stream
+run over the same work.
+
+The module-level singletons (:data:`INGEST`, :data:`CONVERSION`,
+:data:`AGGREGATION`, :data:`FAULTS`, :data:`CACHES`) are **deprecated**:
+they remain as the default context's instances so legacy references keep
+working, but new code must go through the accessors (CI greps for new
+imports of the globals outside this module).
 """
 
 from __future__ import annotations
 
 import math
-from bisect import insort
 
 
-class CacheStats:
+class _AdditiveCounters:
+    """Mixin: fold another instance's counters in, attribute-wise.
+
+    Valid for the plain counter classes below — every instance attribute
+    is an additive number (counts or accumulated seconds), so a parallel
+    merge is plain addition and is associative and commutative.
+    """
+
+    def merge(self, other: "_AdditiveCounters") -> None:
+        for name, value in vars(other).items():
+            setattr(self, name, getattr(self, name) + value)
+
+
+class CacheStats(_AdditiveCounters):
     """Hit/miss/eviction counters for one cache."""
 
     def __init__(self) -> None:
@@ -56,7 +83,7 @@ class CacheStats:
         }
 
 
-class IngestStats:
+class IngestStats(_AdditiveCounters):
     """Counters for the stream ingestion path (produce -> seal -> EC).
 
     The global :data:`INGEST` instance is incremented by the stream object
@@ -98,16 +125,18 @@ class IngestStats:
         }
 
 
-#: Global ingest-path counters (see :class:`IngestStats`).
+#: Deprecated: the default context's ingest counters (use :func:`ingest_stats`).
 INGEST = IngestStats()
 
 
 def ingest_stats() -> IngestStats:
-    """Return the global ingest counters."""
-    return INGEST
+    """The current execution context's ingest counters."""
+    from repro.common.context import current_context
+
+    return current_context().ingest
 
 
-class ConversionStats:
+class ConversionStats(_AdditiveCounters):
     """Counters for the stream->table conversion path (the reunion path).
 
     The global :data:`CONVERSION` instance is incremented by
@@ -140,7 +169,7 @@ class ConversionStats:
         }
 
 
-class FaultStats:
+class FaultStats(_AdditiveCounters):
     """Counters for injected faults and the recovery work they trigger.
 
     The global :data:`FAULTS` instance is incremented by the fault layer
@@ -196,7 +225,7 @@ class FaultStats:
         }
 
 
-class AggregationStats:
+class AggregationStats(_AdditiveCounters):
     """Counters for the vectorized storage-side aggregation engine.
 
     The global :data:`AGGREGATION` instance is incremented by
@@ -227,43 +256,48 @@ class AggregationStats:
         }
 
 
-#: Global aggregation-engine counters (see :class:`AggregationStats`).
+#: Deprecated: the default context's aggregation counters (use :func:`aggregation_stats`).
 AGGREGATION = AggregationStats()
 
 
 def aggregation_stats() -> AggregationStats:
-    """Return the global vectorized-aggregation counters."""
-    return AGGREGATION
+    """The current execution context's vectorized-aggregation counters."""
+    from repro.common.context import current_context
+
+    return current_context().aggregation
 
 
-#: Global fault/recovery counters (see :class:`FaultStats`).
+#: Deprecated: the default context's fault counters (use :func:`fault_stats`).
 FAULTS = FaultStats()
 
 
 def fault_stats() -> FaultStats:
-    """Return the global fault-injection and recovery counters."""
-    return FAULTS
+    """The current execution context's fault/recovery counters."""
+    from repro.common.context import current_context
+
+    return current_context().faults
 
 
-#: Global conversion-path counters (see :class:`ConversionStats`).
+#: Deprecated: the default context's conversion counters (use :func:`conversion_stats`).
 CONVERSION = ConversionStats()
 
 
 def conversion_stats() -> ConversionStats:
-    """Return the global stream->table conversion counters."""
-    return CONVERSION
+    """The current execution context's stream->table conversion counters."""
+    from repro.common.context import current_context
+
+    return current_context().conversion
 
 
-#: Registry of named cache counters (e.g. "table.chunk_cache").
+#: Deprecated: the default context's cache-counter registry (use :func:`cache_stats`).
 CACHES: dict[str, CacheStats] = {}
 
 
 def cache_stats(name: str) -> CacheStats:
-    """Return (creating on first use) the named cache's counters."""
-    stats = CACHES.get(name)
-    if stats is None:
-        stats = CACHES[name] = CacheStats()
-    return stats
+    """The current context's counters for the named cache (created on use)."""
+    from repro.common.context import current_context
+
+    return current_context().cache_stats(name)
 
 
 class OnlineStats:
@@ -318,16 +352,41 @@ class OnlineStats:
 
 
 class Percentiles:
-    """Sorted sample store supporting exact quantile queries."""
+    """Sample store supporting exact quantile queries.
+
+    ``add`` is O(1): samples append unsorted and a dirty flag defers the
+    sort to the first quantile read (the ``KVEngine.put`` lazy-re-sort
+    pattern).  Ingesting n samples is O(n) + one O(n log n) sort per
+    read burst, instead of the O(n²) the per-sample ``insort`` cost —
+    latency trackers record millions of samples and read p50/p99 once.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._dirty = False
 
     def add(self, value: float) -> None:
-        insort(self._samples, value)
+        self._samples.append(value)
+        self._dirty = True
+
+    def extend(self, values: list[float]) -> None:
+        """Bulk append (one flag update for a whole latency batch)."""
+        self._samples.extend(values)
+        self._dirty = True
+
+    def merge(self, other: "Percentiles") -> None:
+        """Fold another store's samples in (parallel shard merge)."""
+        self._samples.extend(other._samples)
+        self._dirty = True
 
     def __len__(self) -> int:
         return len(self._samples)
+
+    def _sorted(self) -> list[float]:
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return self._samples
 
     def quantile(self, q: float) -> float:
         """Exact quantile by linear interpolation; q in [0, 1]."""
@@ -335,13 +394,14 @@ class Percentiles:
             raise ValueError(f"quantile {q!r} outside [0, 1]")
         if not self._samples:
             raise ValueError("no samples recorded")
-        if len(self._samples) == 1:
-            return self._samples[0]
-        position = q * (len(self._samples) - 1)
+        samples = self._sorted()
+        if len(samples) == 1:
+            return samples[0]
+        position = q * (len(samples) - 1)
         low = int(position)
-        high = min(low + 1, len(self._samples) - 1)
+        high = min(low + 1, len(samples) - 1)
         fraction = position - low
-        return self._samples[low] * (1 - fraction) + self._samples[high] * fraction
+        return samples[low] * (1 - fraction) + samples[high] * fraction
 
     @property
     def p50(self) -> float:

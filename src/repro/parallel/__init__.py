@@ -1,0 +1,34 @@
+"""Shard-parallel execution: separation of work, reunion of results.
+
+The data plane's singletons became per-context state
+(:mod:`repro.common.context`) precisely so this package can exist:
+work partitions over the same 4096-shard rendezvous namespace that
+places data slices, every shard runs under a forked execution context
+on a real ``concurrent.futures`` pool, and the driver merges partial
+aggregates, online stats and cache counters back into one answer that
+is value-identical to the single-shard oracle.
+"""
+
+from repro.common.clock import lpt_makespan
+from repro.parallel.convert import ConversionWave, run_conversion_wave
+from repro.parallel.executor import ShardPool
+from repro.parallel.partition import WorkPartitioner, worker_names
+from repro.parallel.query import (
+    ShardedQueryResult,
+    ShardResult,
+    ShardTask,
+    sharded_select,
+)
+
+__all__ = [
+    "ConversionWave",
+    "ShardPool",
+    "ShardResult",
+    "ShardTask",
+    "ShardedQueryResult",
+    "WorkPartitioner",
+    "lpt_makespan",
+    "run_conversion_wave",
+    "sharded_select",
+    "worker_names",
+]

@@ -1,0 +1,119 @@
+"""Sharded stream-to-table conversion waves.
+
+The paper's conversion service runs one converter per topic; nothing
+couples two topics' cycles, so a wave of converters fans out over a
+worker pool.  Each converter runs its normal
+:meth:`~repro.table.conversion.StreamTableConverter.run_cycle` inside a
+**forked execution context**, so per-cycle counters (conversion stats,
+cache stats) accumulate per shard and fold back into the parent
+context on join.
+
+Sim-time reconciliation: every converter owns its own
+:class:`~repro.common.clock.SimClock` (per-shard stacks are built that
+way — see the scale-out bench), so a cycle advances only its own clock.
+The driver reads each shard's elapsed sim seconds and charges the
+parent clock the **LPT makespan** of those deltas over the worker
+count — the same model ``table.py`` uses for read/write waves — so a
+wave of N equal cycles over N workers costs one cycle, not N.
+
+Process pools are rejected: converters hold live object graphs
+(streaming service, table, storage pool) that must mutate in place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.common.clock import lpt_makespan
+from repro.common.context import ExecutionContext, current_context, use_context
+from repro.parallel.executor import ShardPool
+from repro.table.conversion import ConversionReport, StreamTableConverter
+
+__all__ = ["ConversionWave", "run_conversion_wave"]
+
+
+@dataclass
+class ConversionWave:
+    """Outcome of one fanned-out wave of conversion cycles."""
+
+    reports: list[ConversionReport]
+    #: sim seconds charged to the parent clock (LPT makespan of shards)
+    sim_elapsed_s: float
+    #: sum of per-shard sim deltas (what a serial sweep would have cost)
+    sim_serial_s: float
+    shard_sim_deltas: list[float] = field(default_factory=list)
+    shard_walls: list[float] = field(default_factory=list)
+
+    @property
+    def converted(self) -> int:
+        return sum(report.converted for report in self.reports)
+
+    @property
+    def malformed(self) -> int:
+        return sum(report.malformed for report in self.reports)
+
+
+def run_conversion_wave(
+    converters: list[StreamTableConverter],
+    num_workers: int | None = None,
+    mode: str = "thread",
+    force: bool = False,
+    pool: ShardPool | None = None,
+    context: ExecutionContext | None = None,
+) -> ConversionWave:
+    """Run one conversion cycle on every converter, ``num_workers`` wide.
+
+    Converters must each drive their *own* clock (and, transitively,
+    their own table/stream stack) — the wave would otherwise interleave
+    advances on a shared clock and the makespan charge would
+    double-count.
+    """
+    if mode == "process":
+        raise ValueError(
+            "conversion waves cannot use process pools: converters hold "
+            "live object graphs that must mutate in place"
+        )
+    context = context if context is not None else current_context()
+    if num_workers is None:
+        num_workers = len(converters) or 1
+    forks = [
+        context.fork(f"convert-{index}")
+        for index in range(len(converters))
+    ]
+
+    def _run(index: int) -> tuple[ConversionReport, float, float]:
+        converter = converters[index]
+        sim_before = converter.clock.now
+        started = time.perf_counter()
+        with use_context(forks[index]):
+            report = converter.run_cycle(force=force)
+        return (
+            report,
+            converter.clock.now - sim_before,
+            time.perf_counter() - started,
+        )
+
+    owned_pool = pool is None
+    if pool is None:
+        pool = ShardPool(num_workers, mode)
+    try:
+        outcomes = pool.map(_run, range(len(converters)))
+    finally:
+        if owned_pool:
+            pool.close()
+
+    reports = [report for report, _, _ in outcomes]
+    deltas = [delta for _, delta, _ in outcomes]
+    walls = [wall for _, _, wall in outcomes]
+    makespan = lpt_makespan(deltas, num_workers)
+    context.clock.advance(makespan)
+    for fork in forks:
+        context.merge(fork)
+    return ConversionWave(
+        reports=reports,
+        sim_elapsed_s=makespan,
+        sim_serial_s=sum(deltas),
+        shard_sim_deltas=deltas,
+        shard_walls=walls,
+    )

@@ -1,0 +1,54 @@
+"""Shard-aligned work partitioning.
+
+The parallel layer does not invent a new placement scheme: work items
+are bucketed by the same rendezvous-hashed shard namespace that places
+data slices (:mod:`repro.storage.dht`, Section IV-A).  Each worker is
+registered as an owner in a :class:`~repro.storage.dht.ShardMap`, so a
+key routes to ``owner(shard_of(key))`` — the worker that *would* own the
+slice in a real deployment.  That gives the two properties the paper's
+placement already guarantees, for free:
+
+* **balance** — workers draw near-equal shares of the 4096 shards, so
+  large work lists split evenly without any bin-packing;
+* **stability** — the same key always lands on the same worker for a
+  given worker count, so sharded runs are deterministic and per-shard
+  caches see consistent key sets across waves.
+"""
+
+from __future__ import annotations
+
+from repro.storage.dht import NUM_SHARDS, ShardMap
+
+__all__ = ["WorkPartitioner", "worker_names"]
+
+
+def worker_names(num_workers: int) -> list[str]:
+    """Stable owner names for a worker pool of the given size."""
+    return [f"worker-{index:03d}" for index in range(num_workers)]
+
+
+class WorkPartitioner:
+    """Buckets keyed work items over workers via the shard namespace."""
+
+    def __init__(self, num_workers: int,
+                 num_shards: int = NUM_SHARDS) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.shard_map = ShardMap(worker_names(num_workers), num_shards)
+
+    def worker_of(self, key: str) -> int:
+        """Worker index owning ``key``'s shard."""
+        return self.shard_map.owner_index_of_key(key)
+
+    def partition(self, keys: list[str]) -> list[list[int]]:
+        """Split ``keys`` into per-worker buckets of *indices*.
+
+        Returns ``num_workers`` lists; bucket ``w`` holds the positions
+        (into ``keys``) this worker owns, in original order — callers
+        reassemble results in input order from those positions.
+        """
+        buckets: list[list[int]] = [[] for _ in range(self.num_workers)]
+        for position, key in enumerate(keys):
+            buckets[self.worker_of(key)].append(position)
+        return buckets

@@ -1,0 +1,280 @@
+"""Sharded scan + aggregation over a worker pool.
+
+:func:`sharded_select` is the parallel twin of
+:meth:`repro.table.table.TableObject.select`: it runs the same scan
+plan, then partitions the surviving data files over workers by
+``shard_of(file path)`` (:mod:`repro.parallel.partition`) and fans the
+per-file decode/filter/aggregate work out to a
+:class:`~repro.parallel.executor.ShardPool`.  Each worker runs inside a
+**forked execution context** — its own counters, chunk cache, RNG and
+clock — so nothing is shared hot; the driver then *reunites* the
+per-shard pieces:
+
+* ``AggregateState`` partials merge into the final state with
+  ``counted=False`` (the single-process oracle only counts per-file
+  merges, so merged counters stay value-identical);
+* per-shard ``AggregationStats`` / ``CacheStats`` fold into the parent
+  context additively;
+* row results reassemble in scan-plan order from per-file indices.
+
+Results and merged counters are value-identical to the serial
+``table.select`` run — the equivalence tests and the scale-out bench
+assert exactly that.
+
+Simulated time follows the shard assignment, not the wall clock: each
+worker's read costs sum serially, the wave costs the slowest worker
+(the fixed-assignment makespan — shard routing pins files to workers,
+so there is no LPT rebalancing within a query), and the result transfer
+is charged once on the driver.  At one worker this degenerates to the
+serial model exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.context import ExecutionContext, current_context, use_context
+from repro.common.stats import AggregationStats, CacheStats
+from repro.parallel.executor import ShardPool
+from repro.parallel.partition import WorkPartitioner
+from repro.table.agg import AggregateState, aggregate_file
+from repro.table.chunkcache import default_chunk_cache
+from repro.table.columnar import ColumnarFile
+from repro.table.expr import Expression
+from repro.table.pushdown import AggregateSpec, result_size_bytes
+from repro.table.table import QueryStats, TableObject
+
+__all__ = ["ShardTask", "ShardResult", "ShardedQueryResult", "sharded_select"]
+
+
+@dataclass
+class ShardTask:
+    """One worker's slice of a query: its files plus the query shape.
+
+    Everything here pickles (bytes payloads, frozen spec/expression
+    dataclasses, scalars), so the same task runs under thread *and*
+    process pools.
+    """
+
+    worker: int
+    #: (position in scan-plan order, raw file payload)
+    files: list[tuple[int, bytes]]
+    specs: list[AggregateSpec] | None
+    labels: list[str] | None
+    predicate: Expression | None
+    columns: list[str] | None
+    seed: int
+    clock_start: float
+    chunk_cache_capacity: int
+
+
+@dataclass
+class ShardResult:
+    """What comes back from one shard: partials plus that shard's stats."""
+
+    worker: int
+    wall_s: float
+    rows_scanned: int
+    row_groups_skipped: int
+    state: AggregateState | None
+    rows_by_file: dict[int, list[dict[str, object]]] | None
+    aggregation: AggregationStats
+    caches: dict[str, CacheStats]
+
+
+@dataclass
+class ShardedQueryResult:
+    """A sharded query's rows plus the evidence of how it ran."""
+
+    rows: list[dict[str, object]]
+    stats: QueryStats
+    num_workers: int
+    mode: str
+    #: wall seconds each shard task actually took (empty buckets omitted)
+    shard_walls: list[float] = field(default_factory=list)
+    #: files assigned per worker (including empty buckets)
+    files_per_worker: list[int] = field(default_factory=list)
+
+
+def _run_shard(task: ShardTask) -> ShardResult:
+    """Execute one shard task inside a fresh execution context.
+
+    Module-level (not a closure) so process pools can pickle it.  The
+    context is built *here* rather than shipped: only the seed and the
+    clock origin cross the pool boundary.
+    """
+    context = ExecutionContext(
+        name=f"shard-{task.worker}",
+        rng=random.Random(task.seed),
+        clock=SimClock(start=task.clock_start),
+        chunk_cache_capacity=task.chunk_cache_capacity,
+    )
+    started = time.perf_counter()
+    rows_scanned = 0
+    row_groups_skipped = 0
+    with use_context(context):
+        cache = default_chunk_cache(context)
+        state: AggregateState | None = None
+        rows_by_file: dict[int, list[dict[str, object]]] | None = None
+        if task.specs is not None:
+            state = AggregateState(task.specs, task.labels)
+        else:
+            rows_by_file = {}
+        for position, payload in task.files:
+            data_file = ColumnarFile.from_bytes(payload)
+            if task.predicate is not None:
+                row_groups_skipped += data_file.skipped_row_groups(
+                    task.predicate
+                )
+            rows_scanned += data_file.num_rows
+            if state is not None:
+                state.merge(aggregate_file(
+                    data_file, task.specs, state.labels, task.predicate,
+                    cache,
+                ))
+            else:
+                assert rows_by_file is not None
+                rows_by_file[position] = data_file.scan(
+                    task.predicate, task.columns, cache=cache
+                )
+    return ShardResult(
+        worker=task.worker,
+        wall_s=time.perf_counter() - started,
+        rows_scanned=rows_scanned,
+        row_groups_skipped=row_groups_skipped,
+        state=state,
+        rows_by_file=rows_by_file,
+        aggregation=context.aggregation,
+        caches=context.caches,
+    )
+
+
+def sharded_select(
+    table: TableObject,
+    predicate: Expression | None = None,
+    columns: list[str] | None = None,
+    aggregate: AggregateSpec | list[AggregateSpec] | None = None,
+    as_of: float | None = None,
+    num_workers: int = 1,
+    mode: str = "thread",
+    pool: ShardPool | None = None,
+    stats: QueryStats | None = None,
+    context: ExecutionContext | None = None,
+    chunk_cache_capacity: int | None = None,
+) -> ShardedQueryResult:
+    """SELECT over ``table`` with shard-parallel execution.
+
+    Returns a :class:`ShardedQueryResult` whose ``rows`` are
+    value-identical to ``table.select(...)`` with the same arguments,
+    and whose counter side effects (merged into ``context``, default
+    the ambient context) match the serial run's.  ``pool`` reuses an
+    existing :class:`ShardPool` across queries; otherwise one is built
+    for this call (and closed, unless serial).
+    """
+    context = context if context is not None else current_context()
+    stats = stats if stats is not None else QueryStats()
+    specs: list[AggregateSpec] | None = None
+    labels: list[str] | None = None
+    if aggregate is not None:
+        specs = (
+            [aggregate] if isinstance(aggregate, AggregateSpec)
+            else list(aggregate)
+        )
+        labels = AggregateState(specs).labels  # validates shared GROUP BY
+    candidates = table.scan_plan(predicate, as_of=as_of, stats=stats)
+
+    # Fetch payloads on the driver (the pool is a live object graph the
+    # workers can't hold), tracking per-file read cost for sim charging.
+    payloads: list[bytes] = []
+    read_costs: list[float] = []
+    for meta in candidates:
+        payload, read_cost = table.pool.fetch(meta.path)
+        payloads.append(payload)
+        read_costs.append(read_cost)
+        stats.files_scanned += 1
+        stats.bytes_scanned += meta.size_bytes
+
+    partitioner = WorkPartitioner(num_workers)
+    buckets = partitioner.partition([meta.path for meta in candidates])
+    capacity = (
+        chunk_cache_capacity if chunk_cache_capacity is not None
+        else context.chunk_cache_capacity
+    )
+    tasks = [
+        ShardTask(
+            worker=worker,
+            files=[(position, payloads[position]) for position in bucket],
+            specs=specs,
+            labels=labels,
+            predicate=predicate,
+            columns=columns,
+            seed=context.rng.randrange(2 ** 63),
+            clock_start=context.clock.now,
+            chunk_cache_capacity=capacity,
+        )
+        for worker, bucket in enumerate(buckets)
+        if bucket
+    ]
+
+    owned_pool = pool is None
+    if pool is None:
+        pool = ShardPool(num_workers, mode)
+    try:
+        results = pool.map(_run_shard, tasks)
+    finally:
+        if owned_pool:
+            pool.close()
+
+    # --- reunion: fold per-shard pieces back into one answer ---------------
+    with use_context(context):
+        final_state: AggregateState | None = (
+            AggregateState(specs, labels) if specs is not None else None
+        )
+        rows: list[dict[str, object]] = []
+        rows_by_file: dict[int, list[dict[str, object]]] = {}
+        for result in results:
+            stats.rows_scanned += result.rows_scanned
+            stats.row_groups_skipped += result.row_groups_skipped
+            if final_state is not None and result.state is not None:
+                # uncounted: the serial oracle only counts per-file merges,
+                # which already happened (and were counted) shard-side
+                final_state.merge(result.state, counted=False)
+            if result.rows_by_file is not None:
+                rows_by_file.update(result.rows_by_file)
+            context.aggregation.merge(result.aggregation)
+            for name, cache_stats in result.caches.items():
+                context.cache_stats(name).merge(cache_stats)
+                stats.chunk_cache_hits += cache_stats.hits
+                stats.chunk_cache_misses += cache_stats.misses
+        if final_state is not None:
+            context.aggregation.queries += 1
+            output = final_state.rows()
+        else:
+            for position in range(len(candidates)):
+                rows.extend(rows_by_file.get(position, []))
+            output = rows
+
+    # Sim time: each worker reads its assigned files serially; the wave
+    # costs the slowest worker.  One worker degenerates to the serial sum.
+    per_worker_read = [0.0] * num_workers
+    for worker, bucket in enumerate(buckets):
+        per_worker_read[worker] = sum(
+            read_costs[position] for position in bucket
+        )
+    stats.data_cost_s += max(per_worker_read) if per_worker_read else 0.0
+    stats.rows_returned = len(output)
+    stats.bytes_transferred = result_size_bytes(output)
+    stats.data_cost_s += table.bus.transfer(stats.bytes_transferred)
+    table.clock.advance(stats.data_cost_s)
+
+    return ShardedQueryResult(
+        rows=output,
+        stats=stats,
+        num_workers=num_workers,
+        mode=pool.mode,
+        shard_walls=[result.wall_s for result in results],
+        files_per_worker=[len(bucket) for bucket in buckets],
+    )

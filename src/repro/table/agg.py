@@ -306,9 +306,16 @@ class AggregateState:
             if column.maximum is None or high > column.maximum:  # type: ignore[operator]
                 column.maximum = high
 
-    def merge(self, other: "AggregateState") -> None:
-        """Fold another state's partials in (cross-file combination)."""
-        aggregation_stats().partials_merged += len(other.groups)
+    def merge(self, other: "AggregateState", counted: bool = True) -> None:
+        """Fold another state's partials in (cross-file combination).
+
+        ``counted=False`` leaves the ``partials_merged`` counter alone —
+        the sharded driver's final cross-shard reunion uses it so merged
+        per-shard stats stay value-identical to a single-process run,
+        which only ever counts the per-file merges.
+        """
+        if counted:
+            aggregation_stats().partials_merged += len(other.groups)
         for key, partial in other.groups.items():
             mine = self.groups.get(key)
             if mine is None:

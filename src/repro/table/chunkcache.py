@@ -9,16 +9,20 @@ data.  Repeated scans over the same table then skip both the zlib
 decompression and the bytes→NumPy decode entirely.
 
 The cache is bounded (LRU, configurable capacity, counted in chunks) and
-its hit/miss/eviction counters live in :mod:`repro.common.stats` under
-the name ``table.chunk_cache`` so benches report them alongside the
-metadata cache.
+its hit/miss/eviction counters register under the name
+``table.chunk_cache`` in the owning execution context
+(:mod:`repro.common.context`), so benches report them alongside the
+metadata cache.  The *default* cache is *per context*: each shard worker
+context lazily creates its own bounded LRU, so parallel shards never
+share LRU state and their counters fold back on join.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.common.stats import CacheStats, cache_stats
+from repro.common.context import ExecutionContext, current_context
+from repro.common.stats import CacheStats
 from repro.table.vector import ColumnVector
 
 #: Default number of decoded chunks kept (64 chunks of 10k rows ≈ a few
@@ -63,16 +67,31 @@ class ChunkCache:
         self._entries.clear()
 
 
-_default_cache = ChunkCache(stats=cache_stats("table.chunk_cache"))
+def default_chunk_cache(context: ExecutionContext | None = None) -> ChunkCache:
+    """The owning context's cache, used when no explicit cache is passed.
+
+    Created lazily per :class:`~repro.common.context.ExecutionContext`
+    (capacity from ``context.chunk_cache_capacity``, counters registered
+    as ``table.chunk_cache`` in the context's cache registry); the
+    default context's cache keeps the seed's process-wide behaviour.
+    """
+    context = context if context is not None else current_context()
+    cache = context.chunk_cache
+    if cache is None:
+        cache = context.chunk_cache = ChunkCache(
+            context.chunk_cache_capacity,
+            stats=context.cache_stats("table.chunk_cache"),
+        )
+    return cache
 
 
-def default_chunk_cache() -> ChunkCache:
-    """The process-wide cache used when no explicit cache is passed."""
-    return _default_cache
-
-
-def configure_chunk_cache(capacity: int) -> ChunkCache:
-    """Resize the default cache (drops current entries, keeps counters)."""
-    global _default_cache
-    _default_cache = ChunkCache(capacity, stats=cache_stats("table.chunk_cache"))
-    return _default_cache
+def configure_chunk_cache(capacity: int,
+                          context: ExecutionContext | None = None
+                          ) -> ChunkCache:
+    """Resize a context's cache (drops current entries, keeps counters)."""
+    context = context if context is not None else current_context()
+    context.chunk_cache_capacity = capacity
+    context.chunk_cache = ChunkCache(
+        capacity, stats=context.cache_stats("table.chunk_cache")
+    )
+    return context.chunk_cache

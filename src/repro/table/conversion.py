@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.common import stats
 from repro.common.clock import SimClock
+from repro.common.context import ExecutionContext
 from repro.errors import SchemaError
 from repro.stream.records import MessageRecord, pack_values
 from repro.stream.service import MessageStreamingService
@@ -58,11 +59,16 @@ class StreamTableConverter:
     """Background converter bound to one topic and one table."""
 
     def __init__(self, service: MessageStreamingService, topic: str,
-                 table: TableObject, clock: SimClock) -> None:
+                 table: TableObject, clock: SimClock,
+                 context: ExecutionContext | None = None) -> None:
         self._service = service
         self._topic = topic
         self._table = table
         self._clock = clock
+        #: explicit execution context for counters; None resolves the
+        #: ambient context at each cycle (so a sharded wave that runs
+        #: this converter inside ``use_context`` still lands per shard)
+        self._context = context
         self._positions: dict[str, int] = {
             stream_id: 0
             for stream_id in service.dispatcher.streams_of(topic)
@@ -71,6 +77,12 @@ class StreamTableConverter:
         self._playback_sequence = 0
         self.total_converted = 0
         self.total_malformed = 0
+
+    @property
+    def clock(self) -> SimClock:
+        """The clock this converter's cycle costs are charged against
+        (per-shard in a sharded wave; see :mod:`repro.parallel.convert`)."""
+        return self._clock
 
     # --- stream -> table -----------------------------------------------------
 
@@ -128,7 +140,10 @@ class StreamTableConverter:
                 report.sim_seconds += self._table.insert_columns(columns, count)
                 report.converted = count
         self._finish_cycle(report, config)
-        conversion = stats.conversion_stats()
+        conversion = (
+            self._context.conversion if self._context is not None
+            else stats.conversion_stats()
+        )
         conversion.cycles += 1
         conversion.slices_consumed += report.slices_consumed
         conversion.rows_converted += report.converted

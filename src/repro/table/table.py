@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.clock import SimClock
+from repro.common.clock import SimClock, lpt_makespan
+from repro.common.context import ExecutionContext
 from repro.common.stats import aggregation_stats
 from repro.errors import (
     CommitConflictError,
@@ -79,22 +80,13 @@ class QueryStats:
         return self.metadata_cost_s + self.data_cost_s
 
 
-def _parallel_read_time(costs: list[float], parallelism: int) -> float:
-    """Makespan of I/O tasks over ``parallelism`` workers (LPT greedy).
-
-    Used for both read waves (SELECT/compact fetches) and per-partition
-    data-file write waves — the paper's conversion/compaction tasks write
-    partitions concurrently, so wall time is the slowest worker's sum,
-    not the total.
-    """
-    if not costs:
-        return 0.0
-    if parallelism == 1:
-        return sum(costs)
-    workers = [0.0] * parallelism
-    for cost in sorted(costs, reverse=True):
-        workers[workers.index(min(workers))] += cost
-    return max(workers)
+#: Makespan of I/O tasks over N workers — now shared with the sharded
+#: execution layer; see :func:`repro.common.clock.lpt_makespan`.  Used
+#: for both read waves (SELECT/compact fetches) and per-partition
+#: data-file write waves: the paper's conversion/compaction tasks write
+#: partitions concurrently, so wall time is the slowest worker's sum,
+#: not the total.
+_parallel_read_time = lpt_makespan
 
 
 class TableObject:
@@ -105,7 +97,8 @@ class TableObject:
                  row_group_size: int = ROW_GROUP_SIZE,
                  commit_protocol_s: float = 0.0,
                  chunk_cache: ChunkCache | None = None,
-                 write_parallelism: int = 1) -> None:
+                 write_parallelism: int = 1,
+                 context: ExecutionContext | None = None) -> None:
         if write_parallelism < 1:
             raise ValueError("write_parallelism must be >= 1")
         self.info = info
@@ -120,9 +113,11 @@ class TableObject:
         #: one operation aggregate as a makespan over this many workers
         self.write_parallelism = write_parallelism
         #: decoded-chunk LRU shared across scans of this table (repeated
-        #: SELECTs stop re-decompressing the same zlib blobs)
+        #: SELECTs stop re-decompressing the same zlib blobs); defaults
+        #: to the owning execution context's cache
         self._chunk_cache = (
-            chunk_cache if chunk_cache is not None else default_chunk_cache()
+            chunk_cache if chunk_cache is not None
+            else default_chunk_cache(context)
         )
         #: fixed cost of the ACID commit protocol (OCC validation + durable
         #: snapshot publish) — the "extra metadata management" that makes
@@ -142,6 +137,27 @@ class TableObject:
     @property
     def partition_spec(self) -> PartitionSpec:
         return self.info.partition_spec
+
+    @property
+    def pool(self) -> StoragePool:
+        """The persistence pool backing this table (read by the sharded
+        execution layer, which fetches payloads itself)."""
+        return self._pool
+
+    @property
+    def clock(self) -> SimClock:
+        """The simulated clock this table charges its costs against."""
+        return self._clock
+
+    @property
+    def bus(self) -> DataBus:
+        """The data bus result rows are shipped over."""
+        return self._bus
+
+    @property
+    def chunk_cache(self) -> ChunkCache:
+        """The decoded-chunk cache bound to this table."""
+        return self._chunk_cache
 
     # --- write path ---------------------------------------------------------
 
@@ -333,6 +349,65 @@ class TableObject:
 
     # --- read path -------------------------------------------------------------
 
+    def scan_plan(self, predicate: Expression | None = None,
+                  as_of: float | None = None,
+                  memory_budget_bytes: int | None = None,
+                  stats: QueryStats | None = None) -> list[DataFileMeta]:
+        """Plan a scan: snapshot resolution, metadata cost, file pruning.
+
+        Returns the data files surviving file-level skipping on commit
+        value ranges, charging the metadata-read cost and populating
+        ``stats``.  :meth:`select` runs this before fetching payloads;
+        the sharded execution layer (:mod:`repro.parallel.query`) calls
+        it directly, then partitions the surviving files over shard
+        workers instead of scanning them inline.
+
+        Raises :class:`~repro.errors.OutOfMemoryError` when planning
+        over the file-based metadata path exceeds
+        ``memory_budget_bytes`` (the Fig 15(b) compute-side model).
+        """
+        stats = stats if stats is not None else QueryStats()
+        snapshot = (
+            self.snapshots.snapshot_at(as_of) if as_of is not None else None
+        )
+        live = self.snapshots.live_files(snapshot)
+        stats.files_total = len(live)
+        stats.metadata_cost_s += self._meta.read_state_cost(
+            self.info.path,
+            num_commits=len(
+                snapshot.commit_ids
+                if snapshot is not None
+                else (self.snapshots.current.commit_ids
+                      if self.snapshots.current else ())
+            ),
+            num_live_files=len(live),
+        )
+        if (memory_budget_bytes is not None
+                and not self.metadata_accelerated):
+            planning = len(live) * PLANNING_BYTES_PER_FILE
+            if planning > memory_budget_bytes:
+                raise OutOfMemoryError(
+                    f"{self.name}: planning needs {planning} bytes of compute "
+                    f"memory for {len(live)} manifests, budget is "
+                    f"{memory_budget_bytes}"
+                )
+        # file-level skipping on commit value ranges
+        candidates = []
+        for meta in live:
+            if predicate is not None and not predicate.possibly_matches(
+                meta.stats()
+            ):
+                stats.files_skipped += 1
+                stats.bytes_skipped += meta.size_bytes
+                continue
+            candidates.append(meta)
+        return candidates
+
+    @property
+    def metadata_accelerated(self) -> bool:
+        """True when metadata stays storage-side (no compute-side OOM)."""
+        return isinstance(self._meta, AcceleratedMetadataStore)
+
     def select(self, predicate: Expression | None = None,
                columns: list[str] | None = None,
                aggregate: "AggregateSpec | list[AggregateSpec] | None" = None,
@@ -364,40 +439,10 @@ class TableObject:
         if read_parallelism < 1:
             raise ValueError("read_parallelism must be >= 1")
         stats = stats if stats is not None else QueryStats()
-        snapshot = (
-            self.snapshots.snapshot_at(as_of) if as_of is not None else None
+        candidates = self.scan_plan(
+            predicate, as_of=as_of,
+            memory_budget_bytes=memory_budget_bytes, stats=stats,
         )
-        live = self.snapshots.live_files(snapshot)
-        stats.files_total = len(live)
-        stats.metadata_cost_s += self._meta.read_state_cost(
-            self.info.path,
-            num_commits=len(
-                snapshot.commit_ids
-                if snapshot is not None
-                else (self.snapshots.current.commit_ids
-                      if self.snapshots.current else ())
-            ),
-            num_live_files=len(live),
-        )
-        accelerated = isinstance(self._meta, AcceleratedMetadataStore)
-        if memory_budget_bytes is not None and not accelerated:
-            planning = len(live) * PLANNING_BYTES_PER_FILE
-            if planning > memory_budget_bytes:
-                raise OutOfMemoryError(
-                    f"{self.name}: planning needs {planning} bytes of compute "
-                    f"memory for {len(live)} manifests, budget is "
-                    f"{memory_budget_bytes}"
-                )
-        # file-level skipping on commit value ranges
-        candidates = []
-        for meta in live:
-            if predicate is not None and not predicate.possibly_matches(
-                meta.stats()
-            ):
-                stats.files_skipped += 1
-                stats.bytes_skipped += meta.size_bytes
-                continue
-            candidates.append(meta)
         rows: list[dict[str, object]] = []
         specs: list[AggregateSpec] | None = None
         state: AggregateState | None = None
@@ -431,7 +476,7 @@ class TableObject:
         stats.chunk_cache_hits += cache.stats.hits - hits_before
         stats.chunk_cache_misses += cache.stats.misses - misses_before
         stats.data_cost_s += _parallel_read_time(read_costs, read_parallelism)
-        if memory_budget_bytes is not None and not accelerated:
+        if memory_budget_bytes is not None and not self.metadata_accelerated:
             # aggregates hold group partials, never rows, on the compute side
             held = len(state.groups) if state is not None else len(rows)
             working = held * EXECUTION_BYTES_PER_ROW
@@ -725,13 +770,16 @@ class Lakehouse:
                  row_group_size: int = ROW_GROUP_SIZE,
                  commit_protocol_s: float = 0.0,
                  chunk_cache: ChunkCache | None = None,
-                 write_parallelism: int = 1) -> None:
+                 write_parallelism: int = 1,
+                 context: ExecutionContext | None = None) -> None:
         self._pool = pool
         self._bus = bus
         self._clock = clock
         #: decoded-chunk cache shared by every table in this lakehouse
+        #: (the owning execution context's cache unless given explicitly)
         self.chunk_cache = (
-            chunk_cache if chunk_cache is not None else default_chunk_cache()
+            chunk_cache if chunk_cache is not None
+            else default_chunk_cache(context)
         )
         kv = catalog_kv if catalog_kv is not None else KVEngine("catalog", clock)
         self.catalog = Catalog(kv)

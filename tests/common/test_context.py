@@ -1,0 +1,102 @@
+"""Execution contexts: per-shard counter routing and the legacy default."""
+
+import threading
+
+from repro.common import stats
+from repro.common.context import (
+    ExecutionContext,
+    current_context,
+    default_context,
+    use_context,
+)
+from repro.table.chunkcache import default_chunk_cache
+
+
+def test_default_context_wraps_legacy_globals():
+    context = default_context()
+    assert current_context() is context
+    assert stats.ingest_stats() is stats.INGEST
+    assert stats.conversion_stats() is stats.CONVERSION
+    assert stats.aggregation_stats() is stats.AGGREGATION
+    assert stats.fault_stats() is stats.FAULTS
+    assert stats.cache_stats("ctx.test_cache") is stats.CACHES["ctx.test_cache"]
+
+
+def test_use_context_isolates_counters():
+    context = ExecutionContext(name="iso")
+    baseline = stats.ingest_stats().slices_sealed
+    with use_context(context):
+        assert current_context() is context
+        stats.ingest_stats().slices_sealed += 7
+    assert context.ingest.slices_sealed == 7
+    assert stats.ingest_stats().slices_sealed == baseline
+    assert current_context() is default_context()
+
+
+def test_context_is_thread_local():
+    """A context activated in one thread never leaks into another."""
+    context = ExecutionContext(name="thread-a")
+    seen: list[ExecutionContext] = []
+
+    def worker():
+        seen.append(current_context())
+
+    with use_context(context):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen == [default_context()]
+
+
+def test_fork_starts_zeroed_and_merges_back():
+    parent = ExecutionContext(name="parent")
+    parent.ingest.slices_sealed = 3
+    parent.clock.advance(10.0)
+    child = parent.fork("child")
+    assert child.ingest.slices_sealed == 0
+    assert child.clock.now == parent.clock.now
+    child.ingest.slices_sealed = 5
+    child.cache_stats("c").record_hit(2)
+    parent.merge(child)
+    assert parent.ingest.slices_sealed == 8
+    assert parent.cache_stats("c").hits == 2
+
+
+def test_merge_does_not_touch_clock():
+    parent = ExecutionContext(name="p")
+    child = parent.fork("c")
+    child.clock.advance(99.0)
+    parent.merge(child)
+    assert parent.clock.now == 0.0  # driver charges makespan explicitly
+
+
+def test_fork_rng_deterministic():
+    a = ExecutionContext(name="a")
+    b = ExecutionContext(name="b")
+    a.rng.seed(42)
+    b.rng.seed(42)
+    fa = a.fork("f")
+    fb = b.fork("f")
+    assert [fa.rng.random() for _ in range(3)] == [
+        fb.rng.random() for _ in range(3)
+    ]
+
+
+def test_chunk_cache_is_per_context():
+    one = ExecutionContext(name="one", chunk_cache_capacity=8)
+    two = ExecutionContext(name="two")
+    cache_one = default_chunk_cache(one)
+    cache_two = default_chunk_cache(two)
+    assert cache_one is not cache_two
+    assert default_chunk_cache(one) is cache_one  # memoized per context
+    with use_context(one):
+        assert default_chunk_cache() is cache_one  # ambient resolution
+
+
+def test_reset_stats_clears_every_counter():
+    context = ExecutionContext(name="r")
+    context.ingest.slices_sealed = 1
+    context.cache_stats("x").record_miss()
+    context.reset_stats()
+    assert context.ingest.slices_sealed == 0
+    assert context.cache_stats("x").misses == 0

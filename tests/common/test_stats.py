@@ -131,3 +131,32 @@ def test_cache_stats_counters_and_hit_rate():
 
     named = cache_stats("test.some_cache")
     assert cache_stats("test.some_cache") is named
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=60),
+       st.lists(finite_floats, max_size=60))
+def test_percentiles_interleaved_reads_see_all_samples(first, second):
+    """Quantile reads between adds re-sort lazily without losing samples."""
+    samples = Percentiles()
+    for value in first:
+        samples.add(value)
+    assert samples.quantile(0.0) == min(first)  # forces a sort mid-stream
+    for value in second:
+        samples.add(value)
+    everything = first + second
+    assert len(samples) == len(everything)
+    assert samples.quantile(0.0) == min(everything)
+    assert samples.quantile(1.0) == max(everything)
+
+
+def test_percentiles_extend_and_merge_match_adds():
+    loop = Percentiles()
+    for value in [5.0, 1.0, 3.0, 2.0]:
+        loop.add(value)
+    bulk = Percentiles()
+    bulk.extend([5.0, 1.0])
+    other = Percentiles()
+    other.extend([3.0, 2.0])
+    bulk.merge(other)
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert bulk.quantile(q) == loop.quantile(q)

@@ -1,0 +1,65 @@
+"""ShardPool: mode behavior, ordering, lifecycle."""
+
+import os
+import threading
+
+import pytest
+
+from repro.parallel.executor import ShardPool
+
+
+def test_rejects_bad_mode_and_workers():
+    with pytest.raises(ValueError):
+        ShardPool(2, mode="gpu")
+    with pytest.raises(ValueError):
+        ShardPool(0)
+
+
+def test_default_workers_is_cpu_count():
+    assert ShardPool().workers == (os.cpu_count() or 1)
+
+
+@pytest.mark.parametrize("mode", ["serial", "thread"])
+def test_map_preserves_task_order(mode):
+    with ShardPool(4, mode=mode) as pool:
+        assert pool.map(lambda x: x * x, range(10)) == [
+            n * n for n in range(10)
+        ]
+
+
+def test_map_on_empty_tasks():
+    with ShardPool(2, mode="thread") as pool:
+        assert pool.map(lambda x: x, []) == []
+
+
+def test_serial_mode_runs_in_calling_thread():
+    caller = threading.get_ident()
+    with ShardPool(4, mode="serial") as pool:
+        threads = pool.map(lambda _: threading.get_ident(), range(3))
+    assert set(threads) == {caller}
+
+
+def test_thread_mode_uses_pool_threads():
+    caller = threading.get_ident()
+    with ShardPool(2, mode="thread") as pool:
+        threads = pool.map(lambda _: threading.get_ident(), range(4))
+    assert caller not in threads
+
+
+def test_worker_exception_propagates():
+    def boom(n):
+        raise RuntimeError(f"task {n}")
+
+    with ShardPool(2, mode="thread") as pool:
+        with pytest.raises(RuntimeError, match="task"):
+            pool.map(boom, range(3))
+
+
+def test_close_is_idempotent():
+    pool = ShardPool(2, mode="thread")
+    pool.map(lambda x: x, [1])
+    pool.close()
+    pool.close()
+    # a closed pool lazily rebuilds its executor on next use
+    assert pool.map(lambda x: x + 1, [1]) == [2]
+    pool.close()

@@ -1,0 +1,60 @@
+"""WorkPartitioner: shard-aligned bucketing properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.partition import WorkPartitioner, worker_names
+from repro.storage.dht import shard_of
+
+
+def test_worker_names_are_stable_and_distinct():
+    names = worker_names(8)
+    assert names == worker_names(8)
+    assert len(set(names)) == 8
+
+
+def test_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        WorkPartitioner(0)
+
+
+def test_single_worker_gets_everything_in_order():
+    keys = [f"files/{n}" for n in range(20)]
+    assert WorkPartitioner(1).partition(keys) == [list(range(20))]
+
+
+def test_partition_covers_exactly_once():
+    keys = [f"tables/t/part-{n}.col" for n in range(200)]
+    buckets = WorkPartitioner(4).partition(keys)
+    flat = sorted(position for bucket in buckets for position in bucket)
+    assert flat == list(range(200))
+
+
+def test_partition_is_balanced():
+    """Rendezvous sharding splits a large key set near-evenly."""
+    keys = [f"files/part-{n}" for n in range(4000)]
+    buckets = WorkPartitioner(8).partition(keys)
+    sizes = [len(bucket) for bucket in buckets]
+    assert min(sizes) > 0
+    assert max(sizes) < 1.5 * (sum(sizes) / len(sizes))
+
+
+def test_worker_follows_shard_ownership():
+    partitioner = WorkPartitioner(4)
+    for key in ("a", "files/x", "tables/t/part-3.col"):
+        shard = shard_of(key)
+        owner = partitioner.shard_map.owner_of(shard)
+        assert partitioner.shard_map.owners[
+            partitioner.worker_of(key)
+        ] == owner
+
+
+@given(st.lists(st.text(min_size=1, max_size=20), max_size=60),
+       st.integers(min_value=1, max_value=9))
+def test_partition_deterministic_and_order_preserving(keys, workers):
+    partitioner = WorkPartitioner(workers)
+    buckets = partitioner.partition(keys)
+    assert buckets == WorkPartitioner(workers).partition(keys)
+    for bucket in buckets:
+        assert bucket == sorted(bucket)  # original order within a bucket
+    assert sorted(p for b in buckets for p in b) == list(range(len(keys)))

@@ -97,3 +97,50 @@ def test_shards_of_partition_the_space():
 def test_every_key_routable(key):
     shard_map = ShardMap(["n1", "n2", "n3"], num_shards=64)
     assert shard_map.owner_of_key(key) in {"n1", "n2", "n3"}
+
+
+def test_add_owner_moves_only_to_newcomer():
+    """Exact minimal movement: every shard that moves goes to the new owner."""
+    shard_map = ShardMap(["n1", "n2", "n3"], num_shards=512)
+    before = {s: shard_map.owner_of(s) for s in range(512)}
+    moved = shard_map.add_owner("n4")
+    after = {s: shard_map.owner_of(s) for s in range(512)}
+    changed = {s for s in range(512) if before[s] != after[s]}
+    assert len(changed) == moved
+    assert all(after[s] == "n4" for s in changed)
+
+
+def test_remove_then_readd_restores_assignment():
+    """Weights are pure functions of (owner, shard): membership round-trips."""
+    shard_map = ShardMap(["a", "b", "c", "d"], num_shards=256)
+    before = {s: shard_map.owner_of(s) for s in range(256)}
+    shard_map.remove_owner("c")
+    shard_map.add_owner("c")
+    assert {s: shard_map.owner_of(s) for s in range(256)} == before
+
+
+def test_owner_index_of_key_matches_name_lookup():
+    shard_map = ShardMap(["w0", "w1", "w2"], num_shards=128)
+    for key in ("files/a", "files/b", "files/c", ""):
+        index = shard_map.owner_index_of_key(key)
+        assert shard_map.owners[index] == shard_map.owner_of_key(key)
+
+
+def test_owner_index_of_key_empty_map_raises():
+    with pytest.raises(LookupError):
+        ShardMap(num_shards=16).owner_index_of_key("k")
+
+
+def test_vectorized_weights_match_per_shard_winner():
+    """The cached-weights argmax agrees with a from-scratch rebuild."""
+    owners = ["alpha", "beta", "gamma", "delta", "epsilon"]
+    incremental = ShardMap(owners[:3], num_shards=128)
+    incremental.add_owner(owners[3])
+    incremental.add_owner(owners[4])
+    incremental.remove_owner("beta")
+    rebuilt = ShardMap(
+        [o for o in owners if o != "beta"], num_shards=128
+    )
+    assert all(
+        incremental.owner_of(s) == rebuilt.owner_of(s) for s in range(128)
+    )

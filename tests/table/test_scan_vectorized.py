@@ -10,7 +10,7 @@ results identical — same objects, same Python types, same order — to
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.stats import CACHES
+from repro.common.stats import cache_stats
 from repro.table.chunkcache import ChunkCache, configure_chunk_cache
 from repro.table.columnar import ColumnarFile
 from repro.table.expr import And, Or, Predicate
@@ -211,4 +211,4 @@ def test_chunk_cache_rejects_bad_capacity():
 def test_configure_default_cache_registers_stats():
     cache = configure_chunk_cache(64)
     assert cache.capacity == 64
-    assert CACHES["table.chunk_cache"] is cache.stats
+    assert cache_stats("table.chunk_cache") is cache.stats
