@@ -83,7 +83,7 @@ def run_agg_bench(num_rows: int = NUM_ROWS,
     ))
 
     # the pre-engine hybrid: vectorized scan, then row-wise accumulation
-    hybrid_cache = ChunkCache(capacity=64)
+    hybrid_cache = ChunkCache()
     hybrid_s, hybrid_rows = _best_of(REPEATS, lambda: execute_pushdown_multi(
         data_file.scan(predicate, needed, cache=hybrid_cache), specs
     ))
@@ -96,19 +96,19 @@ def run_agg_bench(num_rows: int = NUM_ROWS,
     cold_times = []
     cold_rows = None
     for _ in range(REPEATS):
-        cache = ChunkCache(capacity=64)
+        cache = ChunkCache()
         start = time.perf_counter()
         cold_rows = _vectorized(cache)
         cold_times.append(time.perf_counter() - start)
     cold_s = min(cold_times)
-    warm_cache = ChunkCache(capacity=64)
+    warm_cache = ChunkCache()
     _vectorized(warm_cache)
     warm_s, warm_rows = _best_of(REPEATS, lambda: _vectorized(warm_cache))
 
     # footer fast path: un-predicated COUNT/MIN/MAX from row-group stats
     footer_specs = [AggregateSpec("COUNT"), AggregateSpec("MIN", "bytes_down"),
                     AggregateSpec("MAX", "bytes_down")]
-    footer_cache = ChunkCache(capacity=64)
+    footer_cache = ChunkCache()
     footer_s, footer_rows = _best_of(REPEATS, lambda: aggregate_file(
         data_file, footer_specs, cache=footer_cache
     ).rows())

@@ -76,7 +76,7 @@ def run_scan_bench(num_rows: int = NUM_ROWS,
         lambda: data_file.scan_rows(predicate, projection)
     )
 
-    cache = ChunkCache(capacity=64)
+    cache = ChunkCache()
     cold_s, cold_rows = _timed(
         lambda: data_file.scan(predicate, projection, cache=cache)
     )

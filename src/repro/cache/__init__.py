@@ -1,0 +1,47 @@
+"""Multi-tier adaptive cache hierarchy (ROADMAP item 5).
+
+The paper's read path wins by keeping hot data close to compute — SSD/SCM
+tiers below, KV-accelerated metadata beside, decoded working sets above
+(Fig 15).  This package turns the repro's single decoded-chunk LRU into a
+real hierarchy:
+
+* :mod:`repro.cache.policy` — pluggable eviction (LRU / LFU / ARC behind
+  one :class:`~repro.cache.policy.EvictionPolicy` interface) plus the
+  :class:`~repro.cache.policy.AccessTracker` recency/frequency machinery
+  shared by the tiering service and the prefetcher;
+* :mod:`repro.cache.tier` — :class:`~repro.cache.tier.CacheTier`, one
+  byte-accurate bounded cache level with hit/miss/eviction/rejection
+  counters;
+* :mod:`repro.cache.hierarchy` — :class:`~repro.cache.hierarchy.
+  CacheHierarchy`, the compressed-block + footer tiers wired above the
+  storage pool (the decoded-chunk tier sits on top, in
+  :mod:`repro.table.chunkcache`);
+* :mod:`repro.cache.prefetch` — the LakeBrain-driven
+  :class:`~repro.cache.prefetch.LakeBrainPrefetcher` promoting
+  predicted-hot files ahead of scheduled scans at background bus
+  priority.
+
+Only the policy/tier layers import here: the hierarchy and prefetcher
+modules sit above :mod:`repro.table` / :mod:`repro.storage` and are
+imported from their own module paths to keep the import graph acyclic.
+"""
+
+from repro.cache.policy import (
+    AccessTracker,
+    ARCPolicy,
+    EvictionPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    make_policy,
+)
+from repro.cache.tier import CacheTier
+
+__all__ = [
+    "AccessTracker",
+    "ARCPolicy",
+    "CacheTier",
+    "EvictionPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "make_policy",
+]

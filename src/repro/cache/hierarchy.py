@@ -1,0 +1,200 @@
+"""The compressed-block + footer cache tiers above the storage pool.
+
+A :class:`CacheHierarchy` sits between the table read path and the
+storage pool and holds the two lower tiers of the cache hierarchy:
+
+* the **block tier** caches raw serialized data-file payloads — a hit
+  skips the bus/pool read entirely (and any EC reconstruction behind
+  it) but still pays the decode;
+* the **footer tier** caches parsed :class:`~repro.table.columnar.
+  FileFooter` objects — repeated pruning, re-opening a cached payload
+  and the aggregation footer fast path all skip the JSON footer decode,
+  and a footer hit on the fast path costs **zero** storage-pool IO.
+
+The decoded-chunk tier (:mod:`repro.table.chunkcache`) sits on top;
+together they model the paper's "keep hot data close to compute"
+hierarchy (SSD/SCM tiers, KV metadata acceleration, decoded working
+sets per Fig 15).
+
+Entries are keyed by ``(pool token, path)`` — the token is a
+process-unique id stamped on each :class:`~repro.storage.pool.
+StoragePool` on first use, so two pools that happen to reuse the same
+extent path can never alias each other's cached bytes.  Physical
+deletions (snapshot expiry, table drop) must call :meth:`invalidate`;
+live snapshots never rewrite a path in place, so cached entries stay
+valid for as long as the path exists.
+
+Every access is also recorded in an :class:`~repro.cache.policy.
+AccessTracker`, which feeds the LakeBrain prefetcher's hotness scores
+(:mod:`repro.cache.prefetch`).
+
+Like the chunk cache, the *default* hierarchy is per execution context
+(:func:`default_hierarchy`): tier counters register as
+``table.block_cache`` / ``table.footer_cache`` in the context's cache
+registry and fold back additively on shard join.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.cache.policy import AccessTracker
+from repro.cache.tier import CacheTier
+from repro.common.context import CacheConfig, ExecutionContext, current_context
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (typing only)
+    from repro.storage.pool import StoragePool
+    from repro.table.columnar import ColumnarFile, FileFooter
+
+#: Stats-registry names of the two hierarchy tiers.
+BLOCK_CACHE_NAME = "table.block_cache"
+FOOTER_CACHE_NAME = "table.footer_cache"
+
+_POOL_TOKENS = itertools.count(1)
+
+
+def _pool_token(pool: "StoragePool") -> int:
+    """A process-unique, never-reused id for one pool instance.
+
+    ``id(pool)`` can be recycled by the allocator after a pool dies;
+    a monotone counter stamped on first use cannot.
+    """
+    token = getattr(pool, "_cache_token", None)
+    if token is None:
+        token = next(_POOL_TOKENS)
+        pool._cache_token = token  # type: ignore[attr-defined]
+    return token
+
+
+class CacheHierarchy:
+    """Block + footer tiers with byte accounting and access tracking."""
+
+    def __init__(self, config: CacheConfig | None = None,
+                 context: ExecutionContext | None = None) -> None:
+        context = context if context is not None else current_context()
+        config = config if config is not None else context.cache_config
+        self.config = config
+        self.blocks = CacheTier(
+            BLOCK_CACHE_NAME, config.block_capacity_bytes,
+            policy=config.block_policy,
+            stats=context.cache_stats(BLOCK_CACHE_NAME),
+        )
+        self.footers = CacheTier(
+            FOOTER_CACHE_NAME, config.footer_capacity_bytes,
+            policy=config.footer_policy,
+            stats=context.cache_stats(FOOTER_CACHE_NAME),
+        )
+        self.accesses = AccessTracker(window_s=config.access_window_s)
+
+    def key_for(self, pool: "StoragePool", path: str) -> tuple[int, str]:
+        return (_pool_token(pool), path)
+
+    # --- the read path ------------------------------------------------------
+
+    def load_payload(self, pool: "StoragePool", path: str,
+                     now: float | None = None) -> tuple[bytes, float]:
+        """A file's raw bytes through the block tier.
+
+        Returns ``(payload, read_cost_s)`` — cost 0.0 on a block hit
+        (the pool is never touched).  ``now`` (simulated seconds)
+        records the access for prefetch scoring when given.
+        """
+        key = self.key_for(pool, path)
+        if now is not None:
+            self.accesses.record(key, now)
+        payload = self.blocks.get(key)
+        if payload is not None:
+            return payload, 0.0  # type: ignore[return-value]
+        payload, cost = pool.fetch(path)
+        self.blocks.put(key, payload, len(payload))
+        return payload, cost
+
+    def footer_for(self, pool: "StoragePool", path: str,
+                   payload: bytes) -> "FileFooter":
+        """The parsed footer for a payload already in hand."""
+        from repro.table.columnar import FileFooter
+
+        key = self.key_for(pool, path)
+        footer = self.footers.get(key)
+        if footer is None:
+            footer = FileFooter.parse(payload)
+            self.footers.put(key, footer, footer.encoded_bytes)
+        return footer  # type: ignore[return-value]
+
+    def load_footer(self, pool: "StoragePool", path: str,
+                    now: float | None = None
+                    ) -> tuple["FileFooter", float]:
+        """Footer-first load: a footer hit costs zero storage-pool IO.
+
+        This is the metadata fast path — footer-answerable aggregates
+        over a warm table read neither the pool nor the block tier.
+        """
+        from repro.table.columnar import FileFooter
+
+        key = self.key_for(pool, path)
+        if now is not None:
+            self.accesses.record(key, now)
+        footer = self.footers.get(key)
+        if footer is not None:
+            return footer, 0.0  # type: ignore[return-value]
+        payload, cost = self.load_payload(pool, path)
+        footer = FileFooter.parse(payload)
+        self.footers.put(key, footer, footer.encoded_bytes)
+        return footer, cost
+
+    def load_file(self, pool: "StoragePool", path: str,
+                  now: float | None = None
+                  ) -> tuple["ColumnarFile", float]:
+        """A parsed :class:`ColumnarFile` through both tiers."""
+        from repro.table.columnar import ColumnarFile
+
+        payload, cost = self.load_payload(pool, path, now=now)
+        footer = self.footer_for(pool, path, payload)
+        return ColumnarFile.from_footer(footer, payload), cost
+
+    # --- prefetch + invalidation --------------------------------------------
+
+    def contains_payload(self, pool: "StoragePool", path: str) -> bool:
+        """Peek (no counters): is the payload resident in the block tier?"""
+        return self.key_for(pool, path) in self.blocks
+
+    def admit(self, pool: "StoragePool", path: str, payload: bytes) -> None:
+        """Install a payload + its parsed footer without lookup counters.
+
+        The prefetcher's entry point: promoted files appear as resident
+        entries, so the *next* scan counts clean hits — admission itself
+        is not a lookup.
+        """
+        from repro.table.columnar import FileFooter
+
+        key = self.key_for(pool, path)
+        if key not in self.blocks:
+            self.blocks.put(key, payload, len(payload))
+        if key not in self.footers:
+            footer = FileFooter.parse(payload)
+            self.footers.put(key, footer, footer.encoded_bytes)
+
+    def invalidate(self, pool: "StoragePool", path: str) -> None:
+        """Drop a physically deleted path from every tier."""
+        key = self.key_for(pool, path)
+        self.blocks.invalidate(key)
+        self.footers.invalidate(key)
+        self.accesses.forget(key)
+
+    def clear(self) -> None:
+        self.blocks.clear()
+        self.footers.clear()
+        self.accesses.clear()
+
+
+def default_hierarchy(context: ExecutionContext | None = None
+                      ) -> CacheHierarchy:
+    """The owning context's hierarchy (created lazily, like the default
+    chunk cache), so parallel shards never share tier state and their
+    counters fold back on join."""
+    context = context if context is not None else current_context()
+    hierarchy = context.cache_hierarchy
+    if hierarchy is None:
+        hierarchy = context.cache_hierarchy = CacheHierarchy(context=context)
+    return hierarchy

@@ -1,0 +1,391 @@
+"""Pluggable eviction policies + shared access-recency tracking.
+
+An :class:`EvictionPolicy` owns only the *ordering* of resident keys —
+which key to evict next — while :class:`~repro.cache.tier.CacheTier`
+owns the entries, the byte accounting and the counters.  The contract:
+
+* ``on_insert(key, nbytes)`` — the tier admitted a new entry;
+* ``on_hit(key)`` — a lookup found the key resident;
+* ``on_miss(key)`` — a lookup missed (ARC adapts on ghost hits here);
+* ``on_remove(key)`` — the tier dropped the key explicitly
+  (invalidation/clear), *not* via eviction;
+* ``choose_victim()`` — return the next key to evict **and forget it**
+  (ARC demotes it to a ghost list instead of forgetting).
+
+Three policies ship: :class:`LRUPolicy` (the classic default),
+:class:`LFUPolicy` (frequency with deterministic least-recent tie-break)
+and :class:`ARCPolicy` (Megiddo & Modha's adaptive replacement cache,
+byte-denominated: recency list T1 and frequency list T2 share the
+capacity under an adaptive split ``p`` steered by ghost-list hits).
+
+:class:`AccessTracker` is the recency/frequency bookkeeping the
+SSD<->HDD tiering service and the LakeBrain prefetcher share: last
+access, a bounded sliding hit window, and an EWMA access frequency
+(the ``0.8 * f + 0.2`` update LakeBrain's compaction service uses for
+its access features).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+Key = Hashable
+
+
+class EvictionPolicy(ABC):
+    """Victim-selection strategy for one :class:`~repro.cache.tier.CacheTier`."""
+
+    #: short policy tag ("lru"/"lfu"/"arc"), reported in bench output
+    name: str = "abstract"
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        self.capacity_bytes = capacity_bytes
+
+    @abstractmethod
+    def on_insert(self, key: Key, nbytes: int) -> None:
+        """A new entry was admitted."""
+
+    @abstractmethod
+    def on_hit(self, key: Key) -> None:
+        """A lookup found ``key`` resident."""
+
+    def on_miss(self, key: Key) -> None:
+        """A lookup missed (ARC adapts its target here)."""
+
+    @abstractmethod
+    def on_remove(self, key: Key) -> None:
+        """``key`` was dropped explicitly (invalidate/clear)."""
+
+    @abstractmethod
+    def choose_victim(self) -> Key:
+        """The next key to evict; the policy forgets it as resident.
+
+        Raises :class:`KeyError` when no resident entry remains.
+        """
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least-recently-used resident entry."""
+
+    name = "lru"
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        super().__init__(capacity_bytes)
+        self._order: OrderedDict[Key, None] = OrderedDict()
+
+    def on_insert(self, key: Key, nbytes: int) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_hit(self, key: Key) -> None:
+        self._order.move_to_end(key)
+
+    def on_remove(self, key: Key) -> None:
+        self._order.pop(key, None)
+
+    def choose_victim(self) -> Key:
+        if not self._order:
+            raise KeyError("LRU policy has no resident entries")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+
+class LFUPolicy(EvictionPolicy):
+    """Evict the least-frequently-used entry; ties break least-recent.
+
+    The tie-break is deterministic: among entries with equal hit counts
+    the one *touched* longest ago (smallest access sequence number)
+    evicts first, so two runs over the same trace evict identically.
+    Victim selection is a lazy min-heap of ``(freq, seq, key)`` stamps:
+    stale stamps (the entry was touched again, or removed) pop and drop
+    until a live one surfaces — amortized O(log n) per eviction.
+    """
+
+    name = "lfu"
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        super().__init__(capacity_bytes)
+        self._freq: dict[Key, int] = {}
+        self._seq: dict[Key, int] = {}
+        self._tick = 0
+        self._heap: list[tuple[int, int, Key]] = []
+
+    def _stamp(self, key: Key) -> None:
+        self._tick += 1
+        self._seq[key] = self._tick
+        heapq.heappush(self._heap, (self._freq[key], self._tick, key))
+
+    def on_insert(self, key: Key, nbytes: int) -> None:
+        self._freq[key] = 1
+        self._stamp(key)
+
+    def on_hit(self, key: Key) -> None:
+        self._freq[key] += 1
+        self._stamp(key)
+
+    def on_remove(self, key: Key) -> None:
+        self._freq.pop(key, None)
+        self._seq.pop(key, None)
+
+    def choose_victim(self) -> Key:
+        while self._heap:
+            freq, seq, key = heapq.heappop(self._heap)
+            if self._freq.get(key) == freq and self._seq.get(key) == seq:
+                del self._freq[key]
+                del self._seq[key]
+                return key
+        raise KeyError("LFU policy has no resident entries")
+
+
+class ARCPolicy(EvictionPolicy):
+    """Adaptive Replacement Cache, byte-denominated.
+
+    Resident entries live in two LRU lists — T1 (seen once: recency) and
+    T2 (seen twice+: frequency) — sharing the tier's byte capacity ``c``
+    under an adaptive target ``p`` (bytes granted to T1).  Evicted keys
+    leave a *ghost* (key + size, no value) in B1/B2; a miss that hits a
+    ghost proves the eviction was premature on that side and moves ``p``
+    toward it, so scan-heavy phases grow T1 and repeat-heavy phases grow
+    T2 with no tuning knob.
+
+    Ghost lists are bounded like the original: T1+B1 never exceeds ``c``
+    bytes and all four lists together never exceed ``2c``.
+    """
+
+    name = "arc"
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        if capacity_bytes is None or capacity_bytes < 1:
+            raise ValueError("ARC needs the tier's capacity_bytes up front")
+        super().__init__(capacity_bytes)
+        self.t1: OrderedDict[Key, int] = OrderedDict()  # key -> nbytes
+        self.t2: OrderedDict[Key, int] = OrderedDict()
+        self.b1: OrderedDict[Key, int] = OrderedDict()  # ghosts
+        self.b2: OrderedDict[Key, int] = OrderedDict()
+        self.t1_bytes = 0
+        self.t2_bytes = 0
+        self.b1_bytes = 0
+        self.b2_bytes = 0
+        self.p = 0.0  # adaptive byte target for T1
+        #: keys whose last miss hit a ghost: their next insert lands in T2
+        self._pending: dict[Key, str] = {}
+
+    def on_miss(self, key: Key) -> None:
+        if key in self.b1:
+            nbytes = self.b1.pop(key)
+            self.b1_bytes -= nbytes
+            ratio = (
+                max(self.b2_bytes / self.b1_bytes, 1.0)
+                if self.b1_bytes else 1.0
+            )
+            self.p = min(float(self.capacity_bytes), self.p + ratio * nbytes)
+            self._pending[key] = "t2"
+        elif key in self.b2:
+            nbytes = self.b2.pop(key)
+            self.b2_bytes -= nbytes
+            ratio = (
+                max(self.b1_bytes / self.b2_bytes, 1.0)
+                if self.b2_bytes else 1.0
+            )
+            self.p = max(0.0, self.p - ratio * nbytes)
+            self._pending[key] = "t2"
+
+    def on_insert(self, key: Key, nbytes: int) -> None:
+        # a direct insert (no preceding miss, e.g. prefetch admission) can
+        # still shadow a ghost; drop it so ghost bytes never double-count
+        for ghosts, attr in ((self.b1, "b1_bytes"), (self.b2, "b2_bytes")):
+            stale = ghosts.pop(key, None)
+            if stale is not None:
+                setattr(self, attr, getattr(self, attr) - stale)
+        if self._pending.pop(key, "t1") == "t2":
+            self.t2[key] = nbytes
+            self.t2_bytes += nbytes
+        else:
+            self.t1[key] = nbytes
+            self.t1_bytes += nbytes
+        self._trim_ghosts()
+
+    def on_hit(self, key: Key) -> None:
+        if key in self.t1:  # promoted: second touch moves it to T2
+            nbytes = self.t1.pop(key)
+            self.t1_bytes -= nbytes
+            self.t2[key] = nbytes
+            self.t2_bytes += nbytes
+        elif key in self.t2:
+            self.t2.move_to_end(key)
+
+    def on_remove(self, key: Key) -> None:
+        for entries, attr in (
+            (self.t1, "t1_bytes"), (self.t2, "t2_bytes"),
+            (self.b1, "b1_bytes"), (self.b2, "b2_bytes"),
+        ):
+            nbytes = entries.pop(key, None)
+            if nbytes is not None:
+                setattr(self, attr, getattr(self, attr) - nbytes)
+        self._pending.pop(key, None)
+
+    def choose_victim(self) -> Key:
+        if self.t1 and (self.t1_bytes > self.p or not self.t2):
+            key, nbytes = self.t1.popitem(last=False)
+            self.t1_bytes -= nbytes
+            self.b1[key] = nbytes
+            self.b1_bytes += nbytes
+        elif self.t2:
+            key, nbytes = self.t2.popitem(last=False)
+            self.t2_bytes -= nbytes
+            self.b2[key] = nbytes
+            self.b2_bytes += nbytes
+        else:
+            raise KeyError("ARC policy has no resident entries")
+        self._trim_ghosts()
+        return key
+
+    def _trim_ghosts(self) -> None:
+        c = self.capacity_bytes
+        assert c is not None
+        while self.b1 and self.t1_bytes + self.b1_bytes > c:
+            _, nbytes = self.b1.popitem(last=False)
+            self.b1_bytes -= nbytes
+        while self.b2 and (
+            self.t1_bytes + self.t2_bytes
+            + self.b1_bytes + self.b2_bytes > 2 * c
+        ):
+            _, nbytes = self.b2.popitem(last=False)
+            self.b2_bytes -= nbytes
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.t1_bytes + self.t2_bytes
+
+    @property
+    def ghost_bytes(self) -> int:
+        return self.b1_bytes + self.b2_bytes
+
+
+_POLICIES: dict[str, type[EvictionPolicy]] = {
+    "lru": LRUPolicy,
+    "lfu": LFUPolicy,
+    "arc": ARCPolicy,
+}
+
+#: The selectable policy names, in bench-report order.
+POLICY_NAMES = tuple(sorted(_POLICIES))
+
+
+def make_policy(name: str, capacity_bytes: int) -> EvictionPolicy:
+    """Instantiate an eviction policy by name ("lru", "lfu", "arc")."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(capacity_bytes)
+
+
+# --- shared recency/frequency access tracking ---------------------------------
+
+
+@dataclass
+class _Access:
+    """One tracked key's recency/frequency state."""
+
+    last_access: float
+    recent: list[float] = field(default_factory=list)
+    freq: float = 0.0  # EWMA access frequency (LakeBrain's 0.8/0.2 update)
+
+
+class AccessTracker:
+    """Bounded access recency/frequency bookkeeping, keyed by anything.
+
+    One instance serves two consumers with the same mechanics:
+
+    * :class:`~repro.storage.tiering.TieringService` demotes extents
+      whose :meth:`last_access` went idle and promotes extents whose
+      :meth:`recent_hits` cross the policy threshold;
+    * :class:`~repro.cache.prefetch.LakeBrainPrefetcher` ranks files by
+      :meth:`score` — the EWMA access frequency decayed by idle time —
+      and promotes the predicted-hot ones into the cache hierarchy.
+
+    Hit windows are pruned on every touch *and* via :meth:`prune`, so the
+    tracker stays bounded even for keys never accessed again.
+    """
+
+    def __init__(self, window_s: float = 600.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        self.window_s = window_s
+        self._records: dict[Key, _Access] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._records)
+
+    def note_store(self, key: Key, now: float) -> None:
+        """A key was (re)written: fresh recency, no hit counted."""
+        self._records[key] = _Access(last_access=now)
+
+    def record(self, key: Key, now: float) -> None:
+        """Count one access at simulated time ``now``."""
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = _Access(last_access=now)
+        record.last_access = now
+        self._prune_record(record, now)
+        record.recent.append(now)
+        record.freq = 0.8 * record.freq + 0.2
+
+    def last_access(self, key: Key) -> float | None:
+        record = self._records.get(key)
+        return record.last_access if record is not None else None
+
+    def recent_hits(self, key: Key, now: float) -> int:
+        """Accesses inside the sliding window ending at ``now``."""
+        record = self._records.get(key)
+        if record is None:
+            return 0
+        self._prune_record(record, now)
+        return len(record.recent)
+
+    def pending_hits(self, key: Key) -> list[float]:
+        """The stored (possibly stale) hit window — test observability."""
+        record = self._records.get(key)
+        return list(record.recent) if record is not None else []
+
+    def score(self, key: Key, now: float) -> float:
+        """Predicted-hotness: EWMA frequency decayed by idle time.
+
+        Halves per idle window, so a burst of recent accesses outranks a
+        historically busy key gone quiet.
+        """
+        record = self._records.get(key)
+        if record is None:
+            return 0.0
+        idle = max(0.0, now - record.last_access)
+        return record.freq * 0.5 ** (idle / self.window_s)
+
+    def prune(self, now: float) -> None:
+        """Drop out-of-window hits everywhere (periodic tick upkeep)."""
+        for record in self._records.values():
+            self._prune_record(record, now)
+
+    def forget(self, key: Key) -> None:
+        self._records.pop(key, None)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def _prune_record(self, record: _Access, now: float) -> None:
+        window_start = now - self.window_s
+        if record.recent and record.recent[0] < window_start:
+            record.recent = [t for t in record.recent if t >= window_start]

@@ -1,0 +1,125 @@
+"""One byte-accurate cache level with pluggable eviction.
+
+A :class:`CacheTier` maps hashable keys to values, charging each entry
+its *actual* byte footprint (the caller supplies ``nbytes`` — payload
+length for compressed blocks, parsed-footer size for metadata, vector
+``nbytes`` for decoded chunks) against a byte capacity.  Eviction order
+is delegated to an :class:`~repro.cache.policy.EvictionPolicy`; the tier
+owns the entries, the accounting and the
+:class:`~repro.common.stats.CacheStats` counters.
+
+Entries larger than the whole capacity are **rejected** (counted in
+``stats.rejections``) instead of evicting everything else first — a
+single jumbo scan must never wipe the working set.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.cache.policy import EvictionPolicy, make_policy
+from repro.common.stats import CacheStats
+
+Key = Hashable
+
+
+class CacheTier:
+    """A bounded key->value cache accounted in bytes."""
+
+    def __init__(self, name: str, capacity_bytes: int,
+                 policy: EvictionPolicy | str = "lru",
+                 stats: CacheStats | None = None) -> None:
+        if capacity_bytes < 1:
+            raise ValueError(
+                f"cache capacity must be >= 1 byte, got {capacity_bytes}"
+            )
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.policy = (
+            make_policy(policy, capacity_bytes) if isinstance(policy, str)
+            else policy
+        )
+        self.stats = stats if stats is not None else CacheStats()
+        self._entries: dict[Key, tuple[object, int]] = {}
+        self._used_bytes = 0
+
+    # --- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        """Membership *without* touching counters or recency (peek)."""
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def entry_bytes(self, key: Key) -> int | None:
+        entry = self._entries.get(key)
+        return entry[1] if entry is not None else None
+
+    # --- the cache protocol -------------------------------------------------
+
+    def get(self, key: Key) -> object | None:
+        """The cached value, or None — counted as a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.policy.on_miss(key)
+            self.stats.record_miss()
+            return None
+        self.policy.on_hit(key)
+        self.stats.record_hit()
+        return entry[0]
+
+    def put(self, key: Key, value: object, nbytes: int) -> bool:
+        """Admit ``value`` at ``nbytes``; returns False when rejected.
+
+        Oversized entries (``nbytes > capacity_bytes``) are rejected —
+        counted, not admitted — so one huge entry can never flush the
+        tier.  Re-putting an existing key replaces it (the old footprint
+        is released first).
+        """
+        if nbytes < 0:
+            raise ValueError(f"entry size must be >= 0, got {nbytes}")
+        if nbytes > self.capacity_bytes:
+            self.stats.record_rejection()
+            return False
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self._used_bytes -= existing[1]
+            self.policy.on_remove(key)
+        while self._used_bytes + nbytes > self.capacity_bytes and self._entries:
+            victim = self.policy.choose_victim()
+            _, victim_bytes = self._entries.pop(victim)
+            self._used_bytes -= victim_bytes
+            self.stats.record_eviction()
+        self._entries[key] = (value, nbytes)
+        self._used_bytes += nbytes
+        self.policy.on_insert(key, nbytes)
+        return True
+
+    def invalidate(self, key: Key) -> bool:
+        """Drop one entry (no eviction counted); True when it existed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used_bytes -= entry[1]
+        self.policy.on_remove(key)
+        return True
+
+    def invalidate_where(self, match) -> int:
+        """Drop every entry whose key satisfies ``match(key)``."""
+        doomed = [key for key in self._entries if match(key)]
+        for key in doomed:
+            self.invalidate(key)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept — they are cumulative)."""
+        for key in list(self._entries):
+            self.invalidate(key)

@@ -45,6 +45,7 @@ from __future__ import annotations
 import random
 from contextlib import contextmanager
 from contextvars import ContextVar
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterator
 
 from repro.common.clock import SimClock
@@ -55,14 +56,37 @@ from repro.common.stats import (
     FaultStats,
     IngestStats,
 )
+from repro.common.units import MiB
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cache.hierarchy import CacheHierarchy
     from repro.table.chunkcache import ChunkCache
 
-#: Default decoded-chunk cache capacity per context (chunks); mirrors
-#: :data:`repro.table.chunkcache.DEFAULT_CAPACITY` without importing it
-#: (the table layer sits above the commons).
-DEFAULT_CHUNK_CACHE_CAPACITY = 256
+#: Default decoded-chunk cache capacity per context, in **bytes**;
+#: mirrors :data:`repro.table.chunkcache.DEFAULT_CAPACITY_BYTES` without
+#: importing it (the table layer sits above the commons).
+DEFAULT_CHUNK_CACHE_CAPACITY = 128 * MiB
+
+
+@dataclass
+class CacheConfig:
+    """Per-context knobs for every cache tier (capacities in bytes).
+
+    The three tiers of the hierarchy — decoded chunks on top, compressed
+    blocks above the pool, parsed footers beside them — each get a byte
+    capacity and an eviction policy name ("lru"/"lfu"/"arc"; see
+    :mod:`repro.cache.policy`).  ``access_window_s`` bounds the sliding
+    hit window of the hierarchy's access tracker, which feeds the
+    LakeBrain prefetcher's hotness scores.
+    """
+
+    chunk_capacity_bytes: int = DEFAULT_CHUNK_CACHE_CAPACITY
+    block_capacity_bytes: int = 64 * MiB
+    footer_capacity_bytes: int = 8 * MiB
+    chunk_policy: str = "lru"
+    block_policy: str = "lru"
+    footer_policy: str = "lru"
+    access_window_s: float = 600.0
 
 
 class ExecutionContext:
@@ -76,7 +100,8 @@ class ExecutionContext:
                  caches: dict[str, CacheStats] | None = None,
                  rng: random.Random | None = None,
                  clock: SimClock | None = None,
-                 chunk_cache_capacity: int = DEFAULT_CHUNK_CACHE_CAPACITY,
+                 chunk_cache_capacity: int | None = None,
+                 cache_config: CacheConfig | None = None,
                  ) -> None:
         self.name = name
         self.ingest = ingest if ingest is not None else IngestStats()
@@ -92,9 +117,39 @@ class ExecutionContext:
         )
         self.rng = rng if rng is not None else random.Random(0)
         self.clock = clock if clock is not None else SimClock()
-        self.chunk_cache_capacity = chunk_cache_capacity
+        self.cache_config = (
+            cache_config if cache_config is not None else CacheConfig()
+        )
+        if chunk_cache_capacity is not None:
+            self.cache_config.chunk_capacity_bytes = chunk_cache_capacity
         #: lazily created by :func:`repro.table.chunkcache.default_chunk_cache`
         self.chunk_cache: "ChunkCache | None" = None
+        #: lazily created by :func:`repro.cache.hierarchy.default_hierarchy`
+        self.cache_hierarchy: "CacheHierarchy | None" = None
+
+    @property
+    def chunk_cache_capacity(self) -> int:
+        """Decoded-chunk tier capacity in bytes (alias into the config)."""
+        return self.cache_config.chunk_capacity_bytes
+
+    @chunk_cache_capacity.setter
+    def chunk_cache_capacity(self, capacity: int) -> None:
+        self.cache_config.chunk_capacity_bytes = capacity
+
+    def configure_caches(self, **changes: object) -> CacheConfig:
+        """Reconfigure this context's cache tiers (per-context, not global).
+
+        Accepts any :class:`CacheConfig` field as a keyword argument
+        (``chunk_capacity_bytes``, ``block_policy``, …), applies the
+        changes, and drops the lazily-built chunk cache and hierarchy so
+        they rebuild with the new capacities/policies on next use.
+        Counters registered in :attr:`caches` survive — they are
+        cumulative per context, not per cache instance.
+        """
+        self.cache_config = replace(self.cache_config, **changes)  # type: ignore[arg-type]
+        self.chunk_cache = None
+        self.cache_hierarchy = None
+        return self.cache_config
 
     def cache_stats(self, name: str) -> CacheStats:
         """This context's counters for the named cache (created on use)."""
@@ -118,7 +173,7 @@ class ExecutionContext:
             name=name,
             rng=random.Random(seed),
             clock=SimClock(start=self.clock.now),
-            chunk_cache_capacity=self.chunk_cache_capacity,
+            cache_config=replace(self.cache_config),
         )
 
     def merge(self, other: "ExecutionContext") -> None:

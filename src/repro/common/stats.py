@@ -43,12 +43,14 @@ class _AdditiveCounters:
 
 
 class CacheStats(_AdditiveCounters):
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction/rejection counters for one cache."""
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: entries refused admission (larger than the whole capacity)
+        self.rejections = 0
 
     @property
     def lookups(self) -> int:
@@ -69,16 +71,21 @@ class CacheStats(_AdditiveCounters):
     def record_eviction(self, count: int = 1) -> None:
         self.evictions += count
 
+    def record_rejection(self, count: int = 1) -> None:
+        self.rejections += count
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.rejections = 0
 
     def snapshot(self) -> dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "rejections": self.rejections,
             "hit_rate": self.hit_rate,
         }
 

@@ -40,7 +40,7 @@ from repro.common.context import ExecutionContext, current_context, use_context
 from repro.common.stats import AggregationStats, CacheStats
 from repro.parallel.executor import ShardPool
 from repro.parallel.partition import WorkPartitioner
-from repro.table.agg import AggregateState, aggregate_file
+from repro.table.agg import AggregateState, aggregate_file, footer_answerable
 from repro.table.chunkcache import default_chunk_cache
 from repro.table.columnar import ColumnarFile
 from repro.table.expr import Expression
@@ -152,6 +152,22 @@ def _run_shard(task: ShardTask) -> ShardResult:
     )
 
 
+def _fold_tier_deltas(stats: QueryStats, hierarchy,
+                      block_before: tuple[int, int],
+                      footer_before: tuple[int, int]) -> None:
+    """Charge this query's block/footer tier lookups to its stats."""
+    stats.block_cache_hits += hierarchy.blocks.stats.hits - block_before[0]
+    stats.block_cache_misses += (
+        hierarchy.blocks.stats.misses - block_before[1]
+    )
+    stats.footer_cache_hits += (
+        hierarchy.footers.stats.hits - footer_before[0]
+    )
+    stats.footer_cache_misses += (
+        hierarchy.footers.stats.misses - footer_before[1]
+    )
+
+
 def sharded_select(
     table: TableObject,
     predicate: Expression | None = None,
@@ -186,16 +202,68 @@ def sharded_select(
         labels = AggregateState(specs).labels  # validates shared GROUP BY
     candidates = table.scan_plan(predicate, as_of=as_of, stats=stats)
 
+    hierarchy = table.cache_hierarchy
+    block_before = (hierarchy.blocks.stats.hits,
+                    hierarchy.blocks.stats.misses)
+    footer_before = (hierarchy.footers.stats.hits,
+                     hierarchy.footers.stats.misses)
+
+    if specs is not None and footer_answerable(specs, predicate):
+        # Metadata fast path: the driver answers every file from the
+        # footer tier — the exact lookup sequence the serial path runs —
+        # and nothing fans out, so per-tier counters (and the merged
+        # snapshot) stay value-identical to ``table.select``.
+        read_costs = []
+        with use_context(context):
+            final_state = AggregateState(specs, labels)
+            for meta in candidates:
+                stats.files_scanned += 1
+                stats.bytes_scanned += meta.size_bytes
+                footer, read_cost = hierarchy.load_footer(
+                    table.pool, meta.path, now=table.clock.now
+                )
+                read_costs.append(read_cost)
+                stats.rows_scanned += footer.num_rows
+                partial = AggregateState(specs, labels)
+                for rows_in_group, group_stats, nulls in \
+                        footer.group_summaries():
+                    partial.update_from_stats(
+                        rows_in_group, group_stats, nulls, footer.schema
+                    )
+                final_state.merge(partial)
+            context.aggregation.queries += 1
+            output = final_state.rows()
+        _fold_tier_deltas(stats, hierarchy, block_before, footer_before)
+        stats.data_cost_s += sum(read_costs)
+        stats.rows_returned = len(output)
+        stats.bytes_transferred = result_size_bytes(output)
+        stats.data_cost_s += table.bus.transfer(stats.bytes_transferred)
+        table.clock.advance(stats.data_cost_s)
+        return ShardedQueryResult(
+            rows=output,
+            stats=stats,
+            num_workers=num_workers,
+            mode=pool.mode if pool is not None else mode,
+            shard_walls=[],
+            files_per_worker=[0] * num_workers,
+        )
+
     # Fetch payloads on the driver (the pool is a live object graph the
-    # workers can't hold), tracking per-file read cost for sim charging.
+    # workers can't hold) through the block tier, tracking per-file read
+    # cost for sim charging.  The footer tier warms alongside — the same
+    # two lookups per file the serial path performs.
     payloads: list[bytes] = []
     read_costs: list[float] = []
     for meta in candidates:
-        payload, read_cost = table.pool.fetch(meta.path)
+        payload, read_cost = hierarchy.load_payload(
+            table.pool, meta.path, now=table.clock.now
+        )
+        hierarchy.footer_for(table.pool, meta.path, payload)
         payloads.append(payload)
         read_costs.append(read_cost)
         stats.files_scanned += 1
         stats.bytes_scanned += meta.size_bytes
+    _fold_tier_deltas(stats, hierarchy, block_before, footer_before)
 
     partitioner = WorkPartitioner(num_workers)
     buckets = partitioner.partition([meta.path for meta in candidates])
@@ -247,8 +315,11 @@ def sharded_select(
             context.aggregation.merge(result.aggregation)
             for name, cache_stats in result.caches.items():
                 context.cache_stats(name).merge(cache_stats)
-                stats.chunk_cache_hits += cache_stats.hits
-                stats.chunk_cache_misses += cache_stats.misses
+                # only the decoded-chunk tier runs shard-side; the block
+                # and footer tiers are driver-only and already charged
+                if name == "table.chunk_cache":
+                    stats.chunk_cache_hits += cache_stats.hits
+                    stats.chunk_cache_misses += cache_stats.misses
         if final_state is not None:
             context.aggregation.queries += 1
             output = final_state.rows()

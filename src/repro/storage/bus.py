@@ -71,6 +71,10 @@ _PROFILES = {TransportKind.TCP: TCP_PROFILE, TransportKind.RDMA: RDMA_PROFILE}
 SMALL_IO_THRESHOLD = 64 * KiB
 #: Aggregated batch target size.
 AGGREGATION_TARGET = 512 * KiB
+#: Queue priority for background traffic (tier migration, cache
+#: prefetch); foreground I/O submits at 0, so :meth:`DataBus.drain_queue`
+#: always serves it first.
+BACKGROUND_PRIORITY = 10
 
 
 @dataclass(order=True)

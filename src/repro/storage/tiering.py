@@ -12,14 +12,18 @@ priority so it never starves foreground I/O.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.cache.policy import AccessTracker
 from repro.common.clock import SimClock
-from repro.storage.bus import DataBus
+from repro.storage.bus import BACKGROUND_PRIORITY, DataBus
 from repro.storage.pool import StoragePool
 
-#: Bus priority for background migration (foreground I/O uses 0).
-BACKGROUND_PRIORITY = 10
+__all__ = [
+    "BACKGROUND_PRIORITY",  # re-exported from repro.storage.bus
+    "TieringPolicy",
+    "TieringService",
+]
 
 
 @dataclass
@@ -36,14 +40,14 @@ class TieringPolicy:
     promote_window_s: float = 600.0
 
 
-@dataclass
-class _AccessRecord:
-    last_access: float
-    recent: list[float] = field(default_factory=list)
-
-
 class TieringService:
-    """Moves extents between a hot (SSD) and a cold (HDD) pool."""
+    """Moves extents between a hot (SSD) and a cold (HDD) pool.
+
+    Access recency/frequency is tracked with the cache layer's
+    :class:`~repro.cache.policy.AccessTracker` — the same sliding-window
+    machinery the LakeBrain prefetcher scores from — with the window
+    bound to ``policy.promote_window_s``.
+    """
 
     def __init__(self, hot: StoragePool, cold: StoragePool, bus: DataBus,
                  clock: SimClock, policy: TieringPolicy | None = None) -> None:
@@ -52,7 +56,7 @@ class TieringService:
         self.bus = bus
         self._clock = clock
         self.policy = policy if policy is not None else TieringPolicy()
-        self._access: dict[str, _AccessRecord] = {}
+        self.accesses = AccessTracker(window_s=self.policy.promote_window_s)
         self.demotions = 0
         self.promotions = 0
 
@@ -61,19 +65,12 @@ class TieringService:
     def store(self, extent_id: str, payload: bytes) -> float:
         """New data always lands hot."""
         cost = self.hot.store(extent_id, payload)
-        self._access[extent_id] = _AccessRecord(last_access=self._clock.now)
+        self.accesses.note_store(extent_id, self._clock.now)
         return cost
 
     def fetch(self, extent_id: str) -> tuple[bytes, float]:
         """Read from whichever tier holds the extent, tracking access."""
-        record = self._access.setdefault(
-            extent_id, _AccessRecord(last_access=self._clock.now)
-        )
-        now = self._clock.now
-        record.last_access = now
-        window_start = now - self.policy.promote_window_s
-        record.recent = [t for t in record.recent if t >= window_start]
-        record.recent.append(now)
+        self.accesses.record(extent_id, self._clock.now)
         if self.hot.has_extent(extent_id):
             return self.hot.fetch(extent_id)
         return self.cold.fetch(extent_id)
@@ -83,7 +80,7 @@ class TieringService:
             self.hot.delete(extent_id)
         elif self.cold.has_extent(extent_id):
             self.cold.delete(extent_id)
-        self._access.pop(extent_id, None)
+        self.accesses.forget(extent_id)
 
     def tier_of(self, extent_id: str) -> str:
         if self.hot.has_extent(extent_id):
@@ -100,25 +97,22 @@ class TieringService:
         # prune every record's hit window so access tracking stays bounded
         # even for extents that are never fetched again (fetch prunes its
         # own record; cold extents only see this tick)
-        window_start = now - self.policy.promote_window_s
-        for record in self._access.values():
-            if record.recent and record.recent[0] < window_start:
-                record.recent = [t for t in record.recent if t >= window_start]
+        self.accesses.prune(now)
         demoted = 0
         for extent_id in self.hot.extent_ids():
-            record = self._access.get(extent_id)
-            if record is None:
+            last = self.accesses.last_access(extent_id)
+            if last is None:
                 continue
-            if now - record.last_access >= self.policy.demote_after_s:
+            if now - last >= self.policy.demote_after_s:
                 self._move(extent_id, self.hot, self.cold)
                 demoted += 1
                 self.demotions += 1
         promoted = 0
         for extent_id in self.cold.extent_ids():
-            record = self._access.get(extent_id)
-            if record is None:
+            if extent_id not in self.accesses:
                 continue
-            if len(record.recent) >= self.policy.promote_hits:
+            if self.accesses.recent_hits(extent_id, now) >= \
+                    self.policy.promote_hits:
                 self._move(extent_id, self.cold, self.hot)
                 promoted += 1
                 self.promotions += 1

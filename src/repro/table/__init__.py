@@ -10,9 +10,8 @@ the messaging service.
 from repro.table.schema import Column, ColumnType, PartitionSpec, Schema
 from repro.table.vector import ColumnVector, DictStringVector, NumericVector
 from repro.table.expr import And, Or, Predicate, parse_predicate
-from repro.table.chunkcache import (ChunkCache, configure_chunk_cache,
-    default_chunk_cache)
-from repro.table.columnar import ColumnarFile, ROW_GROUP_SIZE
+from repro.table.chunkcache import ChunkCache, default_chunk_cache
+from repro.table.columnar import ColumnarFile, FileFooter, ROW_GROUP_SIZE
 from repro.table.commit import CommitFile, DataFileMeta
 from repro.table.snapshot import Snapshot, SnapshotLog
 from repro.table.catalog import Catalog, TableInfo
@@ -35,12 +34,12 @@ __all__ = [
     "Or",
     "parse_predicate",
     "ColumnarFile",
+    "FileFooter",
     "ROW_GROUP_SIZE",
     "ColumnVector",
     "NumericVector",
     "DictStringVector",
     "ChunkCache",
-    "configure_chunk_cache",
     "default_chunk_cache",
     "CommitFile",
     "DataFileMeta",

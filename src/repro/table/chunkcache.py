@@ -1,4 +1,4 @@
-"""Bounded LRU cache of decoded column chunks.
+"""Bounded cache of decoded column chunks — the top hierarchy tier.
 
 ``TableObject.select`` re-parses each data file from bytes on every
 query, so a per-file cache would never see a repeat; instead decoded
@@ -8,79 +8,79 @@ blob itself (plus column type and row count), which is stable across
 data.  Repeated scans over the same table then skip both the zlib
 decompression and the bytes→NumPy decode entirely.
 
-The cache is bounded (LRU, configurable capacity, counted in chunks) and
-its hit/miss/eviction counters register under the name
-``table.chunk_cache`` in the owning execution context
-(:mod:`repro.common.context`), so benches report them alongside the
-metadata cache.  The *default* cache is *per context*: each shard worker
-context lazily creates its own bounded LRU, so parallel shards never
-share LRU state and their counters fold back on join.
+The cache is a :class:`~repro.cache.tier.CacheTier`: **byte-accurate**
+(each entry charges the decoded vector's real footprint — values,
+validity mask and dictionary included, via
+:attr:`~repro.table.vector.ColumnVector.nbytes`), bounded by a byte
+capacity, with pluggable eviction (LRU default; see
+:mod:`repro.cache.policy`).  Entries larger than the whole capacity are
+rejected rather than evicting the working set.  Its hit/miss/eviction
+counters register under ``table.chunk_cache`` in the owning execution
+context (:mod:`repro.common.context`); the *default* cache is *per
+context*, so parallel shards never share LRU state and their counters
+fold back on join.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import warnings
 
+from repro.cache.policy import EvictionPolicy
+from repro.cache.tier import CacheTier
 from repro.common.context import ExecutionContext, current_context
 from repro.common.stats import CacheStats
+from repro.common.units import MiB
 from repro.table.vector import ColumnVector
 
-#: Default number of decoded chunks kept (64 chunks of 10k rows ≈ a few
-#: hundred MB of hot columns at most; far less for dictionary strings).
-DEFAULT_CAPACITY = 256
+#: Default decoded-chunk budget in bytes (mirrored by
+#: :data:`repro.common.context.DEFAULT_CHUNK_CACHE_CAPACITY`).
+DEFAULT_CAPACITY_BYTES = 128 * MiB
 
 #: Cache key: (column type tag, row count, compressed chunk blob).
 ChunkKey = tuple[str, int, bytes]
 
 
-class ChunkCache:
-    """LRU map from chunk content to its decoded :class:`ColumnVector`."""
+class ChunkCache(CacheTier):
+    """Byte-bounded map from chunk content to its decoded vector."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 stats: CacheStats | None = None) -> None:
-        if capacity < 1:
-            raise ValueError(f"chunk cache capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self.stats = stats if stats is not None else CacheStats()
-        self._entries: OrderedDict[ChunkKey, ColumnVector] = OrderedDict()
+    def __init__(self, capacity: int = DEFAULT_CAPACITY_BYTES,
+                 stats: CacheStats | None = None,
+                 policy: EvictionPolicy | str = "lru") -> None:
+        super().__init__(
+            "table.chunk_cache", capacity_bytes=capacity,
+            policy=policy, stats=stats,
+        )
 
-    def __len__(self) -> int:
-        return len(self._entries)
+    @property
+    def capacity(self) -> int:
+        """Byte capacity (alias kept from the entry-counted era)."""
+        return self.capacity_bytes
 
     def get(self, key: ChunkKey) -> ColumnVector | None:
-        vector = self._entries.get(key)
-        if vector is None:
-            self.stats.record_miss()
-            return None
-        self._entries.move_to_end(key)
-        self.stats.record_hit()
-        return vector
+        return super().get(key)  # type: ignore[return-value]
 
-    def put(self, key: ChunkKey, vector: ColumnVector) -> None:
-        self._entries[key] = vector
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.record_eviction()
-
-    def clear(self) -> None:
-        self._entries.clear()
+    def put(self, key: ChunkKey, vector: ColumnVector) -> bool:  # type: ignore[override]
+        """Admit one decoded vector, charged at its real byte footprint."""
+        return super().put(key, vector, vector.nbytes)
 
 
 def default_chunk_cache(context: ExecutionContext | None = None) -> ChunkCache:
     """The owning context's cache, used when no explicit cache is passed.
 
     Created lazily per :class:`~repro.common.context.ExecutionContext`
-    (capacity from ``context.chunk_cache_capacity``, counters registered
-    as ``table.chunk_cache`` in the context's cache registry); the
-    default context's cache keeps the seed's process-wide behaviour.
+    (capacity and policy from ``context.cache_config``, counters
+    registered as ``table.chunk_cache`` in the context's cache
+    registry); the default context's cache keeps the seed's process-wide
+    behaviour.
     """
     context = context if context is not None else current_context()
     cache = context.chunk_cache
     if cache is None:
+        config = context.cache_config
         cache = context.chunk_cache = ChunkCache(
-            context.chunk_cache_capacity,
+            config.chunk_capacity_bytes,
             stats=context.cache_stats("table.chunk_cache"),
+            policy=config.chunk_policy,
         )
     return cache
 
@@ -88,10 +88,19 @@ def default_chunk_cache(context: ExecutionContext | None = None) -> ChunkCache:
 def configure_chunk_cache(capacity: int,
                           context: ExecutionContext | None = None
                           ) -> ChunkCache:
-    """Resize a context's cache (drops current entries, keeps counters)."""
-    context = context if context is not None else current_context()
-    context.chunk_cache_capacity = capacity
-    context.chunk_cache = ChunkCache(
-        capacity, stats=context.cache_stats("table.chunk_cache")
+    """Resize a context's cache — **deprecated**.
+
+    This used to mutate process-global cache state; configuration is
+    per-context now.  Use
+    ``context.configure_caches(chunk_capacity_bytes=...)`` instead (CI
+    greps for new imports of this helper).
+    """
+    warnings.warn(
+        "configure_chunk_cache is deprecated; use "
+        "ExecutionContext.configure_caches(chunk_capacity_bytes=...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return context.chunk_cache
+    context = context if context is not None else current_context()
+    context.configure_caches(chunk_capacity_bytes=capacity)
+    return default_chunk_cache(context)

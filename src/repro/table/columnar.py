@@ -301,6 +301,106 @@ class _RowGroup:
         return sum(len(chunk) for chunk in self.chunks.values())
 
 
+class FileFooter:
+    """A parsed columnar-file footer: schema + row-group metadata.
+
+    Parsing the JSON footer is the metadata half of ``from_bytes``; the
+    footer cache tier (:mod:`repro.cache.hierarchy`) keeps these parsed
+    objects so repeated pruning, the aggregation fast path and
+    re-opening a cached payload all skip the JSON decode.  Chunk
+    positions are stored as **absolute offsets** into the serialized
+    file, so :meth:`ColumnarFile.from_footer` can slice a payload
+    without re-reading the footer.
+
+    Footers are immutable once parsed — the cache shares one instance
+    across queries.
+    """
+
+    __slots__ = ("schema", "groups", "footer_end", "encoded_bytes")
+
+    def __init__(self, schema: Schema,
+                 groups: list[_RowGroup],
+                 chunk_spans: list[list[tuple[str, int, int]]],
+                 footer_end: int, encoded_bytes: int) -> None:
+        self.schema = schema
+        #: per row group: [(column name, absolute offset, chunk length)]
+        self.groups = list(zip(groups, chunk_spans))
+        self.footer_end = footer_end
+        #: serialized footer size — what the footer cache tier charges
+        self.encoded_bytes = encoded_bytes
+
+    @classmethod
+    def parse(cls, data: bytes) -> "FileFooter":
+        """Parse the footer region of a serialized columnar file."""
+        if len(data) < _LEN.size:
+            raise CorruptionError("columnar file shorter than its header")
+        (footer_len,) = _LEN.unpack_from(data)
+        if len(data) < _LEN.size + footer_len:
+            raise CorruptionError("columnar file footer truncated")
+        footer = json.loads(data[_LEN.size : _LEN.size + footer_len])
+        schema = Schema.from_dict(footer["schema"])
+        cursor = _LEN.size + footer_len
+        groups: list[_RowGroup] = []
+        chunk_spans: list[list[tuple[str, int, int]]] = []
+        for meta in footer["groups"]:
+            group = _RowGroup.__new__(_RowGroup)
+            group.num_rows = meta["rows"]
+            group.stats = {
+                name: tuple(bounds) for name, bounds in meta["stats"].items()
+            }
+            group.null_counts = meta["nulls"]
+            group.chunks = {}  # filled per payload by from_footer
+            spans = []
+            for name, chunk_len in meta["chunks"]:
+                spans.append((name, cursor, chunk_len))
+                cursor += chunk_len
+            groups.append(group)
+            chunk_spans.append(spans)
+        return cls(
+            schema, groups, chunk_spans,
+            footer_end=_LEN.size + footer_len,
+            encoded_bytes=_LEN.size + footer_len,
+        )
+
+    @property
+    def num_rows(self) -> int:
+        return sum(group.num_rows for group, _ in self.groups)
+
+    @property
+    def num_row_groups(self) -> int:
+        return len(self.groups)
+
+    def group_summaries(self) -> list[
+        tuple[int, dict[str, tuple[object, object]], dict[str, int]]
+    ]:
+        """Per-row-group ``(num_rows, stats, null_counts)`` — the same
+        shape :meth:`ColumnarFile.group_summaries` returns, so the
+        aggregation footer fast path runs from the cached footer with
+        zero payload bytes touched."""
+        return [
+            (group.num_rows, dict(group.stats), dict(group.null_counts))
+            for group, _ in self.groups
+        ]
+
+    def file_stats(self) -> dict[str, tuple[object, object]]:
+        """File-level min/max per column (union of row-group stats)."""
+        merged: dict[str, tuple[object, object]] = {}
+        for group, _ in self.groups:
+            for name, (low, high) in group.stats.items():
+                if low is None:
+                    continue
+                if name not in merged or merged[name][0] is None:
+                    merged[name] = (low, high)
+                else:
+                    merged[name] = (
+                        min(merged[name][0], low),  # type: ignore[type-var]
+                        max(merged[name][1], high),  # type: ignore[type-var]
+                    )
+        for column in self.schema.columns:
+            merged.setdefault(column.name, (None, None))
+        return merged
+
+
 class ColumnarFile:
     """An immutable columnar data file with footer statistics."""
 
@@ -642,27 +742,29 @@ class ColumnarFile:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ColumnarFile":
-        if len(data) < _LEN.size:
-            raise CorruptionError("columnar file shorter than its header")
-        (footer_len,) = _LEN.unpack_from(data)
-        if len(data) < _LEN.size + footer_len:
-            raise CorruptionError("columnar file footer truncated")
-        footer = json.loads(data[_LEN.size : _LEN.size + footer_len])
-        schema = Schema.from_dict(footer["schema"])
-        cursor = _LEN.size + footer_len
+        return cls.from_footer(FileFooter.parse(data), data)
+
+    @classmethod
+    def from_footer(cls, footer: FileFooter, data: bytes) -> "ColumnarFile":
+        """Open a payload through an already-parsed footer.
+
+        The footer-cache fast path: when the hierarchy holds the parsed
+        :class:`FileFooter` for a payload, re-opening it skips the JSON
+        footer decode and only slices chunk blobs.  Row-group statistics
+        dicts are *shared* with the footer (treated as immutable);
+        chunk slices are taken fresh from ``data``.
+        """
         groups: list[_RowGroup] = []
-        for meta in footer["groups"]:
+        for proto, spans in footer.groups:
             group = _RowGroup.__new__(_RowGroup)
-            group.num_rows = meta["rows"]
-            group.stats = {
-                name: tuple(bounds) for name, bounds in meta["stats"].items()
-            }
-            group.null_counts = meta["nulls"]
+            group.num_rows = proto.num_rows
+            group.stats = proto.stats
+            group.null_counts = proto.null_counts
             group.chunks = {}
-            for name, chunk_len in meta["chunks"]:
-                group.chunks[name] = data[cursor : cursor + chunk_len]
-                if len(group.chunks[name]) != chunk_len:
+            for name, offset, chunk_len in spans:
+                blob = data[offset : offset + chunk_len]
+                if len(blob) != chunk_len:
                     raise CorruptionError("columnar file truncated")
-                cursor += chunk_len
+                group.chunks[name] = blob
             groups.append(group)
-        return cls(schema, groups)
+        return cls(footer.schema, groups)

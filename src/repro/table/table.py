@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache.hierarchy import CacheHierarchy, default_hierarchy
 from repro.common.clock import SimClock, lpt_makespan
 from repro.common.context import ExecutionContext
 from repro.common.stats import aggregation_stats
@@ -35,7 +36,7 @@ from repro.errors import (
 from repro.storage.bus import DataBus
 from repro.storage.kv import KVEngine
 from repro.storage.pool import StoragePool
-from repro.table.agg import AggregateState, aggregate_file
+from repro.table.agg import AggregateState, aggregate_file, footer_answerable
 from repro.table.catalog import Catalog, TableInfo
 from repro.table.chunkcache import ChunkCache, default_chunk_cache
 from repro.table.columnar import ColumnarFile, ROW_GROUP_SIZE, gather_column
@@ -74,6 +75,10 @@ class QueryStats:
     data_cost_s: float = 0.0
     chunk_cache_hits: int = 0
     chunk_cache_misses: int = 0
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    footer_cache_hits: int = 0
+    footer_cache_misses: int = 0
 
     @property
     def total_cost_s(self) -> float:
@@ -97,6 +102,7 @@ class TableObject:
                  row_group_size: int = ROW_GROUP_SIZE,
                  commit_protocol_s: float = 0.0,
                  chunk_cache: ChunkCache | None = None,
+                 cache_hierarchy: CacheHierarchy | None = None,
                  write_parallelism: int = 1,
                  context: ExecutionContext | None = None) -> None:
         if write_parallelism < 1:
@@ -118,6 +124,13 @@ class TableObject:
         self._chunk_cache = (
             chunk_cache if chunk_cache is not None
             else default_chunk_cache(context)
+        )
+        #: block + footer tiers below the chunk cache: every data-file
+        #: read goes through here, so repeated scans skip the pool (block
+        #: hit) and footer-answerable aggregates skip IO entirely
+        self._hierarchy = (
+            cache_hierarchy if cache_hierarchy is not None
+            else default_hierarchy(context)
         )
         #: fixed cost of the ACID commit protocol (OCC validation + durable
         #: snapshot publish) — the "extra metadata management" that makes
@@ -158,6 +171,11 @@ class TableObject:
     def chunk_cache(self) -> ChunkCache:
         """The decoded-chunk cache bound to this table."""
         return self._chunk_cache
+
+    @property
+    def cache_hierarchy(self) -> CacheHierarchy:
+        """The block/footer cache tiers bound to this table."""
+        return self._hierarchy
 
     # --- write path ---------------------------------------------------------
 
@@ -454,14 +472,40 @@ class TableObject:
             state = AggregateState(specs)  # validates the shared GROUP BY
         read_costs: list[float] = []
         cache = self._chunk_cache
+        hierarchy = self._hierarchy
         hits_before = cache.stats.hits
         misses_before = cache.stats.misses
+        block_before = (hierarchy.blocks.stats.hits,
+                        hierarchy.blocks.stats.misses)
+        footer_before = (hierarchy.footers.stats.hits,
+                         hierarchy.footers.stats.misses)
+        # metadata fast path: footer-answerable aggregates never need the
+        # payload — a footer-tier hit answers a whole file with zero IO
+        footer_only = state is not None and footer_answerable(
+            specs, predicate  # type: ignore[arg-type]
+        )
         for meta in candidates:
-            payload, read_cost = self._pool.fetch(meta.path)
-            read_costs.append(read_cost)
+            now = self._clock.now
             stats.files_scanned += 1
             stats.bytes_scanned += meta.size_bytes
-            data_file = ColumnarFile.from_bytes(payload)
+            if footer_only:
+                footer, read_cost = hierarchy.load_footer(
+                    self._pool, meta.path, now=now
+                )
+                read_costs.append(read_cost)
+                stats.rows_scanned += footer.num_rows
+                partial = AggregateState(specs, state.labels)
+                for rows_in_group, group_stats, nulls in \
+                        footer.group_summaries():
+                    partial.update_from_stats(
+                        rows_in_group, group_stats, nulls, footer.schema
+                    )
+                state.merge(partial)
+                continue
+            data_file, read_cost = hierarchy.load_file(
+                self._pool, meta.path, now=now
+            )
+            read_costs.append(read_cost)
             if predicate is not None:
                 stats.row_groups_skipped += data_file.skipped_row_groups(
                     predicate
@@ -475,6 +519,18 @@ class TableObject:
                 rows.extend(data_file.scan(predicate, columns, cache=cache))
         stats.chunk_cache_hits += cache.stats.hits - hits_before
         stats.chunk_cache_misses += cache.stats.misses - misses_before
+        stats.block_cache_hits += (
+            hierarchy.blocks.stats.hits - block_before[0]
+        )
+        stats.block_cache_misses += (
+            hierarchy.blocks.stats.misses - block_before[1]
+        )
+        stats.footer_cache_hits += (
+            hierarchy.footers.stats.hits - footer_before[0]
+        )
+        stats.footer_cache_misses += (
+            hierarchy.footers.stats.misses - footer_before[1]
+        )
         stats.data_cost_s += _parallel_read_time(read_costs, read_parallelism)
         if memory_budget_bytes is not None and not self.metadata_accelerated:
             # aggregates hold group partials, never rows, on the compute side
@@ -552,9 +608,10 @@ class TableObject:
         for meta in live:
             if not predicate.possibly_matches(meta.stats()):
                 continue
-            payload, read_cost = self._pool.fetch(meta.path)
+            data_file, read_cost = self._hierarchy.load_file(
+                self._pool, meta.path, now=self._clock.now
+            )
             cost += read_cost
-            data_file = ColumnarFile.from_bytes(payload)
             survivors = [
                 row for row in data_file.scan(cache=self._chunk_cache)
                 if not predicate.matches(row)
@@ -593,9 +650,10 @@ class TableObject:
         for meta in live:
             if not predicate.possibly_matches(meta.stats()):
                 continue
-            payload, read_cost = self._pool.fetch(meta.path)
+            data_file, read_cost = self._hierarchy.load_file(
+                self._pool, meta.path, now=self._clock.now
+            )
             cost += read_cost
-            data_file = ColumnarFile.from_bytes(payload)
             changed = False
             new_rows = []
             for row in data_file.scan(cache=self._chunk_cache):
@@ -675,9 +733,10 @@ class TableObject:
         merged: dict[str, list] = {name: [] for name in self.schema.names}
         num_rows = 0
         for meta in live:
-            payload, read_cost = self._pool.fetch(meta.path)
+            data_file, read_cost = self._hierarchy.load_file(
+                self._pool, meta.path, now=self._clock.now
+            )
             read_costs.append(read_cost)
-            data_file = ColumnarFile.from_bytes(payload)
             for name, data in data_file.to_columns(
                 cache=self._chunk_cache
             ).items():
@@ -724,11 +783,11 @@ class TableObject:
         rows: list[dict[str, object]] = []
         cost = 0.0
         for meta in live:
-            payload, read_cost = self._pool.fetch(meta.path)
-            cost += read_cost
-            rows.extend(
-                ColumnarFile.from_bytes(payload).scan(cache=self._chunk_cache)
+            data_file, read_cost = self._hierarchy.load_file(
+                self._pool, meta.path, now=self._clock.now
             )
+            cost += read_cost
+            rows.extend(data_file.scan(cache=self._chunk_cache))
         new_meta, write_cost = self._write_data_file(partition, rows)
         cost += self._advance_writes([write_cost])
         removed = [meta.path for meta in live]
@@ -741,9 +800,17 @@ class TableObject:
     # --- maintenance -----------------------------------------------------------------
 
     def expire_snapshots(self, older_than: float) -> int:
-        """Expire old snapshots; unreferenced data files are deleted."""
+        """Expire old snapshots; unreferenced data files are deleted.
+
+        Physical deletion is the one event that must also evict the
+        block/footer tiers: a later table could legitimately reuse the
+        same path (the file counter is per table), and stale cached
+        bytes would defeat the content-addressing guarantee the chunk
+        cache gets for free.
+        """
         dropped, unreferenced = self.snapshots.expire(older_than)
         for path in unreferenced:
+            self._hierarchy.invalidate(self._pool, path)
             if self._pool.has_extent(path):
                 self._pool.delete(path)
         return dropped
@@ -770,6 +837,7 @@ class Lakehouse:
                  row_group_size: int = ROW_GROUP_SIZE,
                  commit_protocol_s: float = 0.0,
                  chunk_cache: ChunkCache | None = None,
+                 cache_hierarchy: CacheHierarchy | None = None,
                  write_parallelism: int = 1,
                  context: ExecutionContext | None = None) -> None:
         self._pool = pool
@@ -780,6 +848,11 @@ class Lakehouse:
         self.chunk_cache = (
             chunk_cache if chunk_cache is not None
             else default_chunk_cache(context)
+        )
+        #: block/footer tiers shared by every table in this lakehouse
+        self.cache_hierarchy = (
+            cache_hierarchy if cache_hierarchy is not None
+            else default_hierarchy(context)
         )
         kv = catalog_kv if catalog_kv is not None else KVEngine("catalog", clock)
         self.catalog = Catalog(kv)
@@ -805,6 +878,7 @@ class Lakehouse:
             info, self.catalog, self._pool, self.meta_store, self._bus,
             self._clock, self._row_group_size, self._commit_protocol_s,
             chunk_cache=self.chunk_cache,
+            cache_hierarchy=self.cache_hierarchy,
             write_parallelism=self._write_parallelism,
         )
         self._tables[name] = table
@@ -846,6 +920,7 @@ class Lakehouse:
     def _meta_drop(self, table: TableObject) -> None:
         self.meta_store.drop(table.info.path)
         for meta in table.snapshots.live_files():
+            table.cache_hierarchy.invalidate(self._pool, meta.path)
             if self._pool.has_extent(meta.path):
                 self._pool.delete(meta.path)
         self._pool.garbage_collect()

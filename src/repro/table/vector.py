@@ -50,6 +50,16 @@ class ColumnVector:
         """Boolean mask of non-null positions."""
         raise NotImplementedError
 
+    @property
+    def nbytes(self) -> int:
+        """Decoded in-memory footprint, incl. validity/dictionary arrays.
+
+        This is what the byte-accurate chunk cache charges per entry —
+        the resident cost of keeping the vector hot, not the compressed
+        chunk size.
+        """
+        raise NotImplementedError
+
     def compare(self, op: str, literal: object) -> np.ndarray:
         """Vectorized predicate mask; null positions are always False.
 
@@ -93,6 +103,10 @@ class NumericVector(ColumnVector):
 
     def valid(self) -> np.ndarray:
         return self._valid
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes) + int(self._valid.nbytes)
 
     def compare(self, op: str, literal: object) -> np.ndarray:
         if op == "IN":
@@ -162,6 +176,14 @@ class DictStringVector(ColumnVector):
 
     def valid(self) -> np.ndarray:
         return self.codes != len(self.dictionary)
+
+    @property
+    def nbytes(self) -> int:
+        dictionary_bytes = sum(
+            len(value) if isinstance(value, str) else 8
+            for value in self.dictionary
+        )
+        return int(self.codes.nbytes) + dictionary_bytes
 
     def compare(self, op: str, literal: object) -> np.ndarray:
         truth = np.empty(len(self.dictionary) + 1, dtype=bool)

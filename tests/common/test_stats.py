@@ -124,7 +124,8 @@ def test_cache_stats_counters_and_hit_rate():
     assert stats.lookups == 4
     assert stats.hit_rate == 0.75
     assert stats.snapshot() == {
-        "hits": 3, "misses": 1, "evictions": 2, "hit_rate": 0.75,
+        "hits": 3, "misses": 1, "evictions": 2, "rejections": 0,
+        "hit_rate": 0.75,
     }
     stats.reset()
     assert stats.lookups == 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cache.hierarchy import default_hierarchy
 from repro.common import stats
 from repro.common.stats import cache_stats
 from repro.errors import UnrecoverableDataError
@@ -27,9 +28,11 @@ ROWS = [{"user": f"u{i % 5}", "value": i} for i in range(400)]
 @pytest.fixture(autouse=True)
 def fresh_chunk_cache():
     default_chunk_cache().clear()
+    default_hierarchy().clear()
     cache_stats("table.chunk_cache").reset()
     yield
     default_chunk_cache().clear()
+    default_hierarchy().clear()
 
 
 def _make_table(lakehouse):
@@ -48,6 +51,10 @@ def test_degraded_scan_is_byte_identical_and_cache_safe(lakehouse, ec_pool):
     for extent_id in ec_pool.extent_ids():
         ec_pool.erase_fragment(extent_id, 0)
         ec_pool.corrupt_fragment(extent_id, 3)
+    # drop the block/footer tiers so the scan actually reads the degraded
+    # pool (a block hit would — correctly — never see the faults); the
+    # decoded-chunk cache stays warm, which is what's under test
+    table.cache_hierarchy.clear()
     degraded = table.select()
     assert degraded == baseline
     assert stats.fault_stats().degraded_reads > 0
@@ -76,6 +83,7 @@ def test_unrecoverable_read_does_not_poison_cache(lakehouse, ec_pool):
     victim = ec_pool.extent_ids()[0]
     for index in (0, 1, 2):
         ec_pool.erase_fragment(victim, index)
+    table.cache_hierarchy.clear()  # force the scan down to the pool
     with pytest.raises(UnrecoverableDataError):
         table.select()
     # the failed scan cached nothing new and nothing wrong
@@ -92,6 +100,9 @@ def test_aggregate_pushdown_under_degraded_reads(lakehouse, ec_pool):
     expected = table.select(aggregate=AggregateSpec("COUNT"))
     for extent_id in ec_pool.extent_ids():
         ec_pool.corrupt_fragment(extent_id, 1)
+    # COUNT is footer-answerable, so a warm footer tier would answer with
+    # zero IO; drop it to prove the degraded read path stays correct
+    table.cache_hierarchy.clear()
     assert table.select(aggregate=AggregateSpec("COUNT")) == expected
     assert stats.fault_stats().sector_errors_detected > 0
 

@@ -27,6 +27,8 @@ COUNTERS = (
     "files_total", "files_scanned", "files_skipped", "row_groups_skipped",
     "rows_scanned", "rows_returned", "bytes_scanned", "bytes_skipped",
     "bytes_transferred", "chunk_cache_hits", "chunk_cache_misses",
+    "block_cache_hits", "block_cache_misses",
+    "footer_cache_hits", "footer_cache_misses",
 )
 
 

@@ -108,8 +108,7 @@ def test_access_tracking_is_bounded_by_the_promote_window(tiering):
         service.fetch("x")
         clock.advance(10.0)
     # window is 50s at 10s spacing: at most window/spacing + 1 hits survive
-    record = service._access["x"]
-    assert len(record.recent) <= 6
+    assert len(service.accesses.pending_hits("x")) <= 6
 
 
 def test_migration_tick_prunes_stale_hit_windows(tiering):
@@ -120,7 +119,7 @@ def test_migration_tick_prunes_stale_hit_windows(tiering):
     # never fetched again: only the tick can prune this record
     clock.advance(1000.0)
     service.run_migration_cycle()
-    assert service._access["x"].recent == []
+    assert service.accesses.pending_hits("x") == []
 
 
 def test_stale_hits_do_not_promote_after_pruning(tiering):

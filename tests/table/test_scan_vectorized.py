@@ -10,8 +10,10 @@ results identical — same objects, same Python types, same order — to
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.common.context import ExecutionContext, use_context
 from repro.common.stats import cache_stats
-from repro.table.chunkcache import ChunkCache, configure_chunk_cache
+from repro.common.units import MiB
+from repro.table.chunkcache import ChunkCache, default_chunk_cache
 from repro.table.columnar import ColumnarFile
 from repro.table.expr import And, Or, Predicate
 from repro.table.schema import Column, ColumnType, Schema
@@ -173,7 +175,7 @@ def test_in_against_mixed_type_tuple():
 
 def test_chunk_cache_hits_on_repeated_scans():
     data_file, _ = _int_string_file()
-    cache = ChunkCache(capacity=32)
+    cache = ChunkCache()
     predicate = Predicate("k", ">=", 20)
     data_file.scan(predicate, cache=cache)
     assert cache.stats.misses > 0
@@ -186,7 +188,7 @@ def test_chunk_cache_hits_on_repeated_scans():
 
 def test_chunk_cache_survives_serialization_roundtrip():
     data_file, _ = _int_string_file()
-    cache = ChunkCache(capacity=32)
+    cache = ChunkCache()
     data_file.scan(cache=cache)
     misses = cache.stats.misses
     # same bytes, fresh object: content-addressed keys still hit
@@ -195,12 +197,30 @@ def test_chunk_cache_survives_serialization_roundtrip():
     assert cache.stats.misses == misses
 
 
-def test_chunk_cache_is_bounded_lru():
+def test_chunk_cache_is_bounded_by_bytes():
     data_file, _ = _int_string_file()  # 4 groups x 2 columns = 8 chunks
-    cache = ChunkCache(capacity=3)
+    probe = ChunkCache()
+    data_file.scan(cache=probe)
+    working_set = probe.used_bytes
+    assert working_set > 0 and len(probe) == 8
+    # half the working set: the scan must evict, never exceed capacity
+    cache = ChunkCache(capacity=working_set // 2)
     data_file.scan(cache=cache)
-    assert len(cache) == 3
-    assert cache.stats.evictions == 5
+    assert 0 < cache.used_bytes <= cache.capacity
+    assert len(cache) < 8
+    assert cache.stats.evictions > 0
+
+
+def test_chunk_cache_rejects_oversized_entries():
+    data_file, _ = _int_string_file()
+    # 1-byte budget: every decoded vector is bigger, so each put is
+    # rejected outright instead of churning the (empty) working set
+    cache = ChunkCache(capacity=1)
+    data_file.scan(cache=cache)
+    assert len(cache) == 0
+    assert cache.used_bytes == 0
+    assert cache.stats.evictions == 0
+    assert cache.stats.rejections == cache.stats.misses > 0
 
 
 def test_chunk_cache_rejects_bad_capacity():
@@ -209,6 +229,23 @@ def test_chunk_cache_rejects_bad_capacity():
 
 
 def test_configure_default_cache_registers_stats():
-    cache = configure_chunk_cache(64)
-    assert cache.capacity == 64
-    assert cache_stats("table.chunk_cache") is cache.stats
+    context = ExecutionContext(name="cache-config")
+    with use_context(context):
+        context.configure_caches(chunk_capacity_bytes=64 * MiB)
+        cache = default_chunk_cache()
+        assert cache.capacity == 64 * MiB
+        assert cache_stats("table.chunk_cache") is cache.stats
+
+
+def test_configure_chunk_cache_is_deprecated():
+    from repro.table import chunkcache
+
+    context = ExecutionContext(name="cache-deprecated")
+    with use_context(context):
+        # via getattr: the helper only survives for back-compat and CI
+        # greps direct imports of it
+        legacy = getattr(chunkcache, "configure_chunk_cache")
+        with pytest.warns(DeprecationWarning):
+            cache = legacy(64 * MiB)
+        assert cache.capacity == 64 * MiB
+        assert cache is default_chunk_cache()
