@@ -47,9 +47,19 @@ if TYPE_CHECKING:  # pragma: no cover - layering guard (typing only)
     from repro.storage.pool import StoragePool
     from repro.table.columnar import ColumnarFile, FileFooter
 
-#: Stats-registry names of the two hierarchy tiers.
+#: Stats-registry names of the hierarchy tiers.
 BLOCK_CACHE_NAME = "table.block_cache"
 FOOTER_CACHE_NAME = "table.footer_cache"
+RESULT_CACHE_NAME = "table.result_cache"
+
+#: Result-tier key: (normalized SQL, ((table, pool token, snapshot id),
+#: ...)).  The snapshot ids do the invalidation: a commit advances a
+#: table's snapshot, so the *next* query computes a different key and
+#: the stale entry simply ages out — while time travel (``as_of``)
+#: resolves back to the old snapshot id and stays warm forever.  The
+#: pool token keeps same-named tables in *different* lakehouses (whose
+#: snapshot counters both start at 0) from aliasing each other.
+ResultKey = tuple[str, tuple[tuple[str, int, int], ...]]
 
 _POOL_TOKENS = itertools.count(1)
 
@@ -84,6 +94,11 @@ class CacheHierarchy:
             FOOTER_CACHE_NAME, config.footer_capacity_bytes,
             policy=config.footer_policy,
             stats=context.cache_stats(FOOTER_CACHE_NAME),
+        )
+        self.results = CacheTier(
+            RESULT_CACHE_NAME, config.result_capacity_bytes,
+            policy=config.result_policy,
+            stats=context.cache_stats(RESULT_CACHE_NAME),
         )
         self.accesses = AccessTracker(window_s=config.access_window_s)
 
@@ -175,8 +190,56 @@ class CacheHierarchy:
             footer = FileFooter.parse(payload)
             self.footers.put(key, footer, footer.encoded_bytes)
 
+    # --- the query result tier ----------------------------------------------
+
+    def result_key(self, normalized_sql: str,
+                   refs: "list[tuple[str, StoragePool, int]]") -> ResultKey:
+        """The snapshot-keyed cache key for one normalized statement.
+
+        ``refs`` lists every referenced table as ``(name, backing pool,
+        resolved snapshot id)`` — the id the query actually reads, so an
+        ``as_of`` query keys on its historical snapshot.
+        """
+        return (
+            normalized_sql,
+            tuple(sorted(
+                (name, _pool_token(pool), snapshot_id)
+                for name, pool, snapshot_id in refs
+            )),
+        )
+
+    def lookup_result(self, key: ResultKey
+                      ) -> "list[dict[str, object]] | None":
+        """A whole query's result rows, if cached for this exact key.
+
+        Rows copy out shallowly so callers can rename/sort/slice without
+        corrupting the cached entry (values are immutable scalars).
+        """
+        rows = self.results.get(key)
+        if rows is None:
+            return None
+        return [dict(row) for row in rows]  # type: ignore[union-attr]
+
+    def store_result(self, key: ResultKey, rows: "list[dict[str, object]]",
+                     nbytes: int) -> None:
+        """Install a finished query's rows under its snapshot-keyed key."""
+        self.results.put(key, [dict(row) for row in rows], nbytes)
+
+    def invalidate_results(self, table_name: str) -> int:
+        """Drop every cached result referencing ``table_name``.
+
+        Only needed on *physical* table deletion (drop/restore): a
+        recreated table restarts its snapshot counter at 0, so without
+        this a new table could alias a dead table's cached results.
+        Ordinary commits never call it — the snapshot id in the key
+        already fences them.
+        """
+        return self.results.invalidate_where(
+            lambda key: any(entry[0] == table_name for entry in key[1])
+        )
+
     def invalidate(self, pool: "StoragePool", path: str) -> None:
-        """Drop a physically deleted path from every tier."""
+        """Drop a physically deleted path from the block/footer tiers."""
         key = self.key_for(pool, path)
         self.blocks.invalidate(key)
         self.footers.invalidate(key)
@@ -185,6 +248,7 @@ class CacheHierarchy:
     def clear(self) -> None:
         self.blocks.clear()
         self.footers.clear()
+        self.results.clear()
         self.accesses.clear()
 
 

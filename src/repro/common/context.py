@@ -55,6 +55,7 @@ from repro.common.stats import (
     ConversionStats,
     FaultStats,
     IngestStats,
+    JoinStats,
 )
 from repro.common.units import MiB
 
@@ -83,9 +84,12 @@ class CacheConfig:
     chunk_capacity_bytes: int = DEFAULT_CHUNK_CACHE_CAPACITY
     block_capacity_bytes: int = 64 * MiB
     footer_capacity_bytes: int = 8 * MiB
+    #: snapshot-keyed query result tier (normalized SQL + snapshot ids)
+    result_capacity_bytes: int = 16 * MiB
     chunk_policy: str = "lru"
     block_policy: str = "lru"
     footer_policy: str = "lru"
+    result_policy: str = "lru"
     access_window_s: float = 600.0
 
 
@@ -97,6 +101,7 @@ class ExecutionContext:
                  conversion: ConversionStats | None = None,
                  aggregation: AggregationStats | None = None,
                  faults: FaultStats | None = None,
+                 joins: JoinStats | None = None,
                  caches: dict[str, CacheStats] | None = None,
                  rng: random.Random | None = None,
                  clock: SimClock | None = None,
@@ -112,6 +117,7 @@ class ExecutionContext:
             aggregation if aggregation is not None else AggregationStats()
         )
         self.faults = faults if faults is not None else FaultStats()
+        self.joins = joins if joins is not None else JoinStats()
         self.caches: dict[str, CacheStats] = (
             caches if caches is not None else {}
         )
@@ -187,6 +193,7 @@ class ExecutionContext:
         self.conversion.merge(other.conversion)
         self.aggregation.merge(other.aggregation)
         self.faults.merge(other.faults)
+        self.joins.merge(other.joins)
         for name, stats in other.caches.items():
             self.cache_stats(name).merge(stats)
 
@@ -196,6 +203,7 @@ class ExecutionContext:
         self.conversion.reset()
         self.aggregation.reset()
         self.faults.reset()
+        self.joins.reset()
         for stats in self.caches.values():
             stats.reset()
 
@@ -206,6 +214,7 @@ class ExecutionContext:
             "conversion": self.conversion.snapshot(),
             "aggregation": self.aggregation.snapshot(),
             "faults": self.faults.snapshot(),
+            "joins": self.joins.snapshot(),
         }
         for name, stats in sorted(self.caches.items()):
             out[f"cache:{name}"] = stats.snapshot()

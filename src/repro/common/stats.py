@@ -274,6 +274,48 @@ def aggregation_stats() -> AggregationStats:
     return current_context().aggregation
 
 
+class JoinStats(_AdditiveCounters):
+    """Counters for the vectorized join engine and cost-based planner.
+
+    Incremented by :mod:`repro.table.join` (build/probe kernel),
+    :mod:`repro.table.planner` (plan enumeration) and the SQL front
+    end's snapshot-keyed result cache; ``bench_join.py`` surfaces a
+    snapshot alongside the join timings.
+    """
+
+    def __init__(self) -> None:
+        self.joins_executed = 0       # hash_join kernel invocations
+        self.build_rows = 0           # rows folded into build sides
+        self.probe_rows = 0           # rows probed against build sides
+        self.matches_emitted = 0      # output index pairs produced
+        self.queries_planned = 0      # multi-table statements planned
+        self.plans_considered = 0     # join orders enumerated and costed
+        self.result_cache_hits = 0    # whole queries answered from cache
+        self.result_cache_misses = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "joins_executed": self.joins_executed,
+            "build_rows": self.build_rows,
+            "probe_rows": self.probe_rows,
+            "matches_emitted": self.matches_emitted,
+            "queries_planned": self.queries_planned,
+            "plans_considered": self.plans_considered,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+        }
+
+
+def join_stats() -> JoinStats:
+    """The current execution context's join/planner counters."""
+    from repro.common.context import current_context
+
+    return current_context().joins
+
+
 #: Deprecated: the default context's fault counters (use :func:`fault_stats`).
 FAULTS = FaultStats()
 

@@ -137,6 +137,29 @@ class SnapshotNotFoundError(TableError):
     """Time travel addressed a timestamp with no retained snapshot."""
 
 
+class PlanningError(TableError):
+    """The cost-based planner could not produce a plan for a statement."""
+
+
+class EstimationError(StreamLakeError):
+    """Base class for LakeBrain cardinality-estimation failures."""
+
+
+class UnknownEstimatorColumnError(EstimationError):
+    """An estimate referenced a column absent from the learned schema.
+
+    Carries the offending columns and the columns the estimator was
+    trained over, so planners can fall back (or re-train) instead of
+    catching a bare ``KeyError`` from deep inside the SPN.
+    """
+
+    def __init__(self, message: str, missing: list[str] | None = None,
+                 known: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.missing = list(missing or [])
+        self.known = list(known or [])
+
+
 class OutOfMemoryError(StreamLakeError):
     """Simulated compute-side memory budget exhausted (Fig 15(b))."""
 

@@ -19,9 +19,11 @@ them on accuracy (q-error) and estimation cost:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import UnknownEstimatorColumnError
 from repro.lakebrain.spn import SPN
 from repro.table.expr import Expression
 
@@ -75,11 +77,40 @@ class SamplingEstimator(CardinalityEstimator):
         return hits * self._total_rows / len(self._sample)
 
 
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """An estimate plus its provenance: how fresh is the model behind it?
+
+    ``stale`` is True when the table has committed past the snapshot the
+    estimator trained on; ``snapshots_behind`` counts how far.  The
+    cost-based planner still *uses* stale estimates (join ordering
+    survives moderate drift) but surfaces the staleness in its plan
+    report so operators know to retrain.
+    """
+
+    rows: float
+    trained_snapshot_id: int | None = None
+    current_snapshot_id: int | None = None
+
+    @property
+    def stale(self) -> bool:
+        if self.trained_snapshot_id is None or self.current_snapshot_id is None:
+            return False
+        return self.current_snapshot_id > self.trained_snapshot_id
+
+    @property
+    def snapshots_behind(self) -> int:
+        if not self.stale:
+            return 0
+        return self.current_snapshot_id - self.trained_snapshot_id  # type: ignore[operator]
+
+
 class SPNEstimator(CardinalityEstimator):
     """The learned estimator: train once, estimate in near-constant time."""
 
     def __init__(self, rows: list[dict[str, object]], columns: list[str],
-                 sample_fraction: float = 0.01, seed: int = 0) -> None:
+                 sample_fraction: float = 0.01, seed: int = 0,
+                 trained_snapshot_id: int | None = None) -> None:
         rng = np.random.default_rng(seed)
         size = max(64, int(len(rows) * sample_fraction))
         size = min(size, len(rows))
@@ -87,6 +118,12 @@ class SPNEstimator(CardinalityEstimator):
         sample = [rows[i] for i in indices]
         self._spn = SPN.learn(sample, columns, seed=seed)
         self._spn.row_count = len(rows)
+        #: columns the SPN was trained over — the learned schema; an
+        #: estimate over anything else is a typed error, not a KeyError
+        self.columns = list(columns)
+        #: table snapshot the training sample was drawn at (staleness
+        #: tracking; None = unknown, never reported stale)
+        self.trained_snapshot_id = trained_snapshot_id
         #: one-time training cost (structure learning over the sample)
         self.training_cost_s = size * len(columns) * ROW_EVAL_S * 4
         self.total_cost_s = 0.0
@@ -101,9 +138,34 @@ class SPNEstimator(CardinalityEstimator):
             stack.extend(getattr(node, "children", []))
         return count
 
+    def _check_columns(self, expression: Expression) -> None:
+        missing = sorted(expression.columns() - set(self.columns))
+        if missing:
+            raise UnknownEstimatorColumnError(
+                f"SPN was not trained over column(s) {missing}; "
+                f"learned schema is {self.columns}",
+                missing=missing, known=self.columns,
+            )
+
     def cardinality(self, expression: Expression) -> float:
+        self._check_columns(expression)
         self.total_cost_s += self._node_count * SPN_NODE_S
         return self._spn.cardinality(expression)
+
+    def estimate(self, expression: Expression,
+                 current_snapshot_id: int | None = None
+                 ) -> CardinalityEstimate:
+        """A cardinality with staleness provenance attached.
+
+        ``current_snapshot_id`` is the table's snapshot id *now*; when it
+        has advanced past :attr:`trained_snapshot_id`, the estimate is
+        flagged stale and reports how many snapshots behind it is.
+        """
+        return CardinalityEstimate(
+            rows=self.cardinality(expression),
+            trained_snapshot_id=self.trained_snapshot_id,
+            current_snapshot_id=current_snapshot_id,
+        )
 
 
 def q_error(estimate: float, truth: float) -> float:

@@ -14,14 +14,20 @@ from repro.parallel.convert import ConversionWave, run_conversion_wave
 from repro.parallel.executor import ShardPool
 from repro.parallel.partition import WorkPartitioner, worker_names
 from repro.parallel.query import (
+    JoinShardResult,
+    JoinShardTask,
     ShardedQueryResult,
     ShardResult,
     ShardTask,
+    sharded_hash_join,
+    sharded_join_kernel,
     sharded_select,
 )
 
 __all__ = [
     "ConversionWave",
+    "JoinShardResult",
+    "JoinShardTask",
     "ShardPool",
     "ShardResult",
     "ShardTask",
@@ -29,6 +35,8 @@ __all__ = [
     "WorkPartitioner",
     "lpt_makespan",
     "run_conversion_wave",
+    "sharded_hash_join",
+    "sharded_join_kernel",
     "sharded_select",
     "worker_names",
 ]

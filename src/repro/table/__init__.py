@@ -22,6 +22,10 @@ from repro.table.pushdown import (AggregateSpec, execute_pushdown,
 from repro.table.agg import AggregateState, aggregate_file, footer_answerable
 from repro.table.table import Lakehouse, QueryStats, TableObject
 from repro.table.conversion import StreamTableConverter
+from repro.table.join import (ColumnSet, JoinResult, concat_column_sets,
+    gather_with_nulls, hash_join)
+from repro.table.planner import (JoinCondition, JoinPlan, JoinQuery,
+    StatisticsCache, TableRef, execute_plan, plan_join, planner_statistics)
 from repro.table.sql import SQLError, parse_select, query
 
 __all__ = [
@@ -64,4 +68,17 @@ __all__ = [
     "query",
     "parse_select",
     "SQLError",
+    "ColumnSet",
+    "JoinResult",
+    "concat_column_sets",
+    "gather_with_nulls",
+    "hash_join",
+    "JoinCondition",
+    "JoinPlan",
+    "JoinQuery",
+    "StatisticsCache",
+    "TableRef",
+    "execute_plan",
+    "plan_join",
+    "planner_statistics",
 ]

@@ -59,6 +59,16 @@ class Expression(ABC):
     def atoms(self) -> list["Predicate"]:
         """All atomic predicates in the tree."""
 
+    @abstractmethod
+    def rename(self, mapping: Mapping[str, str]) -> "Expression":
+        """A copy with column names substituted per ``mapping``.
+
+        Columns absent from the mapping keep their names.  The planner
+        uses this to strip alias qualifiers (``l.l_quantity`` →
+        ``l_quantity``) when pushing a joined query's per-table
+        conjuncts down into single-table storage scans.
+        """
+
 
 @dataclass(frozen=True)
 class Predicate(Expression):
@@ -136,6 +146,12 @@ class Predicate(Expression):
     def atoms(self) -> list["Predicate"]:
         return [self]
 
+    def rename(self, mapping: Mapping[str, str]) -> "Predicate":
+        renamed = mapping.get(self.column, self.column)
+        if renamed == self.column:
+            return self
+        return Predicate(renamed, self.op, self.literal)
+
     def __str__(self) -> str:
         return f"{self.column} {self.op} {self.literal!r}"
 
@@ -175,6 +191,9 @@ class And(Expression):
         for child in self.children:
             out.extend(child.atoms())
         return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "And":
+        return And(*(child.rename(mapping) for child in self.children))
 
     def __str__(self) -> str:
         return "(" + " AND ".join(str(child) for child in self.children) + ")"
@@ -217,6 +236,9 @@ class Or(Expression):
         for child in self.children:
             out.extend(child.atoms())
         return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "Or":
+        return Or(*(child.rename(mapping) for child in self.children))
 
     def __str__(self) -> str:
         return "(" + " OR ".join(str(child) for child in self.children) + ")"

@@ -1,0 +1,437 @@
+"""Vectorized hash joins over dictionary-encoded column codes.
+
+The paper's Fig 16 workloads are multi-table, but until this module the
+engine executed table-at-a-time.  A join here never materializes a
+Python row on the hot path:
+
+* both sides' key columns map into one **shared dense code space**
+  (:func:`join_codes`): numeric keys through one ``np.unique`` over the
+  union of both sides' values, string keys by remapping each side's
+  dictionary into the sorted union of the two dictionaries — so equal
+  values on either side share a code, and NULLs (plus cross-type pairs
+  that can never compare equal) take the sentinel ``-1``;
+* the build side's codes sort once (stable, so duplicate keys keep
+  build-row order) and every probe key finds its match run with two
+  ``np.searchsorted`` calls — a bincount-bucketed hash table in all but
+  name, with the bucket directory implicit in the sorted array;
+* the result is a pair of row-index arrays (:class:`JoinResult`) —
+  **late materialization**: both sides gather surviving indices as
+  typed vectors (:meth:`ColumnVector.gather`) and only the final
+  projection builds Python objects.
+
+NULL-key semantics match SQL: a NULL never equals anything (including
+another NULL), so NULL keys drop from the build side and match nothing
+on the probe side; a LEFT OUTER join still emits the probe row once,
+with ``-1`` marking the missing build row (materialized as NULLs).
+Float NaN keys follow Python/SQL equality and match nothing.
+
+:func:`join_rows` is the row-wise nested-loop oracle — kept *only* for
+hypothesis equivalence tests (CI greps for imports outside this module
+and the test tree); production paths go through :func:`hash_join`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.stats import join_stats
+from repro.table.chunkcache import ChunkCache
+from repro.table.columnar import ColumnarFile
+from repro.table.expr import Expression
+from repro.table.schema import Schema
+from repro.table.vector import ColumnVector, DictStringVector, NumericVector
+
+#: Join types supported by both the kernel and the oracle.
+JOIN_TYPES = ("inner", "left")
+
+
+def concat_vectors(parts: list[ColumnVector]) -> ColumnVector:
+    """One vector spanning several chunks of the same column.
+
+    Numeric parts concatenate value/validity arrays; string parts remap
+    each chunk's dictionary into the union dictionary (chunk
+    dictionaries are per-row-group, so they rarely agree).
+    """
+    if not parts:
+        raise ValueError("cannot concatenate zero vectors")
+    if len(parts) == 1:
+        return parts[0]
+    if isinstance(parts[0], NumericVector):
+        numeric = [part for part in parts if isinstance(part, NumericVector)]
+        return NumericVector(
+            np.concatenate([part.values for part in numeric]),
+            np.concatenate([part.valid() for part in numeric]),
+        )
+    union: list[object] = sorted(
+        {value for part in parts for value in part.dictionary}  # type: ignore[attr-defined]
+    )
+    index = {value: position for position, value in enumerate(union)}
+    null_code = len(union)
+    chunks = []
+    for part in parts:
+        assert isinstance(part, DictStringVector)
+        remap = np.array(
+            [index[value] for value in part.dictionary] + [null_code],
+            dtype=np.uint32,
+        )
+        chunks.append(remap[part.codes])
+    return DictStringVector(union, np.concatenate(chunks))
+
+
+def gather_with_nulls(vector: ColumnVector, indices: np.ndarray
+                      ) -> ColumnVector:
+    """Gather rows where ``-1`` indices become NULL (outer-join padding)."""
+    safe = np.clip(indices, 0, None)
+    missing = indices < 0
+    if isinstance(vector, NumericVector):
+        values = vector.values[safe] if len(vector) else np.zeros(
+            len(indices), dtype=np.int64
+        )
+        valid = vector.valid()[safe] if len(vector) else np.zeros(
+            len(indices), dtype=bool
+        )
+        return NumericVector(values, valid & ~missing)
+    assert isinstance(vector, DictStringVector)
+    null_code = len(vector.dictionary)
+    codes = vector.codes[safe] if len(vector) else np.zeros(
+        len(indices), dtype=np.uint32
+    )
+    codes = np.where(missing, np.uint32(null_code), codes)
+    return DictStringVector(vector.dictionary, codes.astype(np.uint32))
+
+
+@dataclass
+class ColumnSet:
+    """A relation in decoded form: named typed vectors + a row count.
+
+    This is what flows between scan, join, and aggregation in the
+    multi-table engine — the table-level twin of a row group's vector
+    dict, spanning all of a relation's surviving rows.
+    """
+
+    columns: dict[str, ColumnVector]
+    num_rows: int
+
+    @classmethod
+    def from_file(cls, data_file: ColumnarFile,
+                  columns: list[str] | None = None,
+                  predicate: Expression | None = None,
+                  cache: ChunkCache | None = None) -> "ColumnSet":
+        """Decode (a projection of) one data file, predicate applied.
+
+        Surviving rows gather at the vector level — no row dicts.
+        """
+        names = columns if columns is not None else data_file.schema.names
+        parts: dict[str, list[ColumnVector]] = {name: [] for name in names}
+        num_rows = 0
+        for vectors, mask, group_rows in data_file.select_vectors(
+            names, predicate, cache
+        ):
+            indices = None if mask is None else np.flatnonzero(mask)
+            for name in names:
+                vector = vectors[name]
+                parts[name].append(
+                    vector if indices is None else vector.gather(indices)
+                )
+            num_rows += group_rows if indices is None else int(indices.size)
+        out: dict[str, ColumnVector] = {}
+        for name in names:
+            if parts[name]:
+                out[name] = concat_vectors(parts[name])
+            else:
+                out[name] = NumericVector(
+                    np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+                )
+        return cls(out, num_rows)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: list[dict[str, object]],
+                  columns: list[str] | None = None) -> "ColumnSet":
+        """Build from row dicts (test/oracle convenience, not a hot path)."""
+        if not rows:
+            return cls(
+                {
+                    name: NumericVector(
+                        np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+                    )
+                    for name in (columns or schema.names)
+                },
+                0,
+            )
+        data_file = ColumnarFile.from_rows(schema, rows, len(rows))
+        return cls.from_file(data_file, columns)
+
+    def gather(self, indices: np.ndarray) -> "ColumnSet":
+        """Row subset at the vector level (``-1`` rows become NULLs)."""
+        if len(indices) and int(indices.min()) < 0:
+            return ColumnSet(
+                {
+                    name: gather_with_nulls(vector, indices)
+                    for name, vector in self.columns.items()
+                },
+                len(indices),
+            )
+        return ColumnSet(
+            {
+                name: vector.gather(indices)
+                for name, vector in self.columns.items()
+            },
+            len(indices),
+        )
+
+    def to_rows(self, columns: list[str] | None = None
+                ) -> list[dict[str, object]]:
+        """Materialize Python rows (the final projection, or tests)."""
+        names = columns if columns is not None else list(self.columns)
+        materialized = [self.columns[name].to_list() for name in names]
+        return [
+            dict(zip(names, values)) for values in zip(*materialized)
+        ] if names else [{} for _ in range(self.num_rows)]
+
+
+def concat_column_sets(parts: list["ColumnSet"]) -> "ColumnSet":
+    """One relation spanning several per-file :class:`ColumnSet` chunks."""
+    if not parts:
+        raise ValueError("cannot concatenate zero column sets")
+    if len(parts) == 1:
+        return parts[0]
+    names = list(parts[0].columns)
+    return ColumnSet(
+        {
+            name: concat_vectors([part.columns[name] for part in parts])
+            for name in names
+        },
+        sum(part.num_rows for part in parts),
+    )
+
+
+@dataclass
+class JoinResult:
+    """Surviving row indices through both sides (late materialization).
+
+    ``right_indices`` holds ``-1`` where a LEFT OUTER probe row found no
+    build match; materializing through :func:`gather_with_nulls` turns
+    those into NULL columns.
+    """
+
+    left_indices: np.ndarray
+    right_indices: np.ndarray
+    how: str
+
+    @property
+    def num_rows(self) -> int:
+        return int(len(self.left_indices))
+
+
+def _numeric_pair_codes(left: NumericVector, right: NumericVector
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Shared dense codes for a numeric/numeric key pair; NULL/NaN = -1."""
+    left_valid = left.valid()
+    right_valid = right.valid()
+    common = np.result_type(left.values.dtype, right.values.dtype)
+    left_values = left.values[left_valid].astype(common, copy=False)
+    right_values = right.values[right_valid].astype(common, copy=False)
+    uniques = np.unique(np.concatenate([left_values, right_values]))
+    left_codes = np.full(len(left), -1, dtype=np.int64)
+    right_codes = np.full(len(right), -1, dtype=np.int64)
+    left_codes[left_valid] = np.searchsorted(uniques, left_values)
+    right_codes[right_valid] = np.searchsorted(uniques, right_values)
+    if np.issubdtype(common, np.floating):
+        # NaN sorts into the code space but never equals anything
+        left_codes[left_valid] = np.where(
+            np.isnan(left_values), -1, left_codes[left_valid]
+        )
+        right_codes[right_valid] = np.where(
+            np.isnan(right_values), -1, right_codes[right_valid]
+        )
+    return left_codes, right_codes
+
+
+def _string_pair_codes(left: DictStringVector, right: DictStringVector
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Shared dense codes for a string/string key pair; NULL = -1.
+
+    Each side's dictionary remaps into the sorted union of the two
+    dictionaries — one tiny Python loop per *distinct* value, then one
+    vectorized take through the codes (the dictionary-encoded build the
+    issue calls for: probes compare uint codes, never strings).
+    """
+    union = sorted(set(left.dictionary) | set(right.dictionary))
+    index = {value: position for position, value in enumerate(union)}
+    left_map = np.array(
+        [index[value] for value in left.dictionary] + [-1], dtype=np.int64
+    )
+    right_map = np.array(
+        [index[value] for value in right.dictionary] + [-1], dtype=np.int64
+    )
+    return left_map[left.codes], right_map[right.codes]
+
+
+def join_codes(left: ColumnSet, right: ColumnSet,
+               left_on: list[str], right_on: list[str]
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Dense per-row key codes for both sides in one shared space.
+
+    Multi-column keys combine pairwise (``a * width_b + b``) with an
+    ``np.unique`` re-compaction after every step so codes stay small;
+    any ``-1`` component poisons the combined code to ``-1``.
+    """
+    if len(left_on) != len(right_on) or not left_on:
+        raise ValueError("join requires equal, non-empty key column lists")
+    combined_left: np.ndarray | None = None
+    combined_right: np.ndarray | None = None
+    for left_name, right_name in zip(left_on, right_on):
+        left_vector = left.columns[left_name]
+        right_vector = right.columns[right_name]
+        if isinstance(left_vector, NumericVector) and isinstance(
+            right_vector, NumericVector
+        ):
+            left_codes, right_codes = _numeric_pair_codes(
+                left_vector, right_vector
+            )
+        elif isinstance(left_vector, DictStringVector) and isinstance(
+            right_vector, DictStringVector
+        ):
+            left_codes, right_codes = _string_pair_codes(
+                left_vector, right_vector
+            )
+        else:
+            # a number never equals a string: no row can match
+            left_codes = np.full(left.num_rows, -1, dtype=np.int64)
+            right_codes = np.full(right.num_rows, -1, dtype=np.int64)
+        if combined_left is None:
+            combined_left, combined_right = left_codes, right_codes
+            continue
+        width = int(
+            max(
+                left_codes.max(initial=-1), right_codes.max(initial=-1)
+            )
+        ) + 1
+        new_left = combined_left * width + left_codes
+        new_right = combined_right * width + right_codes
+        new_left[(combined_left < 0) | (left_codes < 0)] = -1
+        new_right[(combined_right < 0) | (right_codes < 0)] = -1
+        # re-compact so the code space never exceeds the row counts
+        present = np.unique(
+            np.concatenate([new_left[new_left >= 0], new_right[new_right >= 0]])
+        )
+        combined_left = np.where(
+            new_left >= 0, np.searchsorted(present, new_left), -1
+        )
+        combined_right = np.where(
+            new_right >= 0, np.searchsorted(present, new_right), -1
+        )
+    assert combined_left is not None and combined_right is not None
+    return combined_left, combined_right
+
+
+def build_side(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-build the hash side: ``(sorted codes, original row order)``.
+
+    NULL/unmatchable keys (``-1``) drop here — they can never join.
+    The stable sort preserves build-row order within duplicate keys, so
+    probe output matches the oracle's scan order exactly.
+    """
+    order = np.argsort(codes, kind="stable").astype(np.intp)
+    sorted_codes = codes[order]
+    first_valid = int(np.searchsorted(sorted_codes, 0, side="left"))
+    return sorted_codes[first_valid:], order[first_valid:]
+
+
+def probe_codes(sorted_build: np.ndarray, build_order: np.ndarray,
+                probe: np.ndarray, how: str = "inner"
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Probe a sorted build side: ``(probe indices, build indices)``.
+
+    Output rows are ordered probe-row-ascending, then build-row order
+    within a key — identical to the nested-loop oracle.  For ``left``,
+    unmatched probe rows appear once with build index ``-1``.
+    """
+    if how not in JOIN_TYPES:
+        raise ValueError(f"unsupported join type {how!r}; use {JOIN_TYPES}")
+    low = np.searchsorted(sorted_build, probe, side="left")
+    high = np.searchsorted(sorted_build, probe, side="right")
+    counts = high - low
+    counts[probe < 0] = 0  # NULL keys never match
+    if how == "inner":
+        out_counts = counts
+    else:
+        out_counts = np.maximum(counts, 1)
+    total = int(out_counts.sum())
+    probe_indices = np.repeat(
+        np.arange(len(probe), dtype=np.intp), out_counts
+    )
+    starts = np.cumsum(out_counts) - out_counts
+    offsets = np.arange(total, dtype=np.intp) - np.repeat(starts, out_counts)
+    base = np.repeat(low, out_counts) + offsets
+    if how == "inner":
+        build_indices = (
+            build_order[base] if len(build_order)
+            else np.zeros(0, dtype=np.intp)
+        )
+    else:
+        matched = np.repeat(counts > 0, out_counts)
+        safe = np.where(matched, np.minimum(base, max(len(build_order) - 1, 0)),
+                        0)
+        gathered = (
+            build_order[safe] if len(build_order)
+            else np.zeros(total, dtype=np.intp)
+        )
+        build_indices = np.where(matched, gathered, np.intp(-1))
+    return probe_indices, build_indices.astype(np.intp)
+
+
+def hash_join(left: ColumnSet, right: ColumnSet,
+              left_on: list[str], right_on: list[str],
+              how: str = "inner") -> JoinResult:
+    """Vectorized equi-join: build on ``right``, probe with ``left``.
+
+    Returns surviving row-index pairs; materialize via
+    :meth:`ColumnSet.gather` + :meth:`ColumnSet.to_rows` (or feed the
+    gathered vectors straight into the aggregation kernel).
+    """
+    counters = join_stats()
+    left_codes, right_codes = join_codes(left, right, left_on, right_on)
+    sorted_build, build_order = build_side(right_codes)
+    counters.joins_executed += 1
+    counters.build_rows += right.num_rows
+    probe_indices, build_indices = probe_codes(
+        sorted_build, build_order, left_codes, how
+    )
+    counters.probe_rows += left.num_rows
+    counters.matches_emitted += int(len(probe_indices))
+    return JoinResult(probe_indices, build_indices, how)
+
+
+def join_rows(left_rows: list[dict[str, object]],
+              right_rows: list[dict[str, object]],
+              left_on: list[str], right_on: list[str],
+              how: str = "inner"
+              ) -> list[tuple[dict[str, object], dict[str, object] | None]]:
+    """Row-wise nested-loop join — the equivalence oracle.
+
+    O(n*m): for every left row, scan every right row and compare keys
+    with Python ``==``; NULL keys never match.  Returns
+    ``(left_row, right_row-or-None)`` pairs in probe order.  Kept only
+    so hypothesis can assert :func:`hash_join` agrees with the obvious
+    semantics; never imported by production code (CI enforces this).
+    """
+    if how not in JOIN_TYPES:
+        raise ValueError(f"unsupported join type {how!r}; use {JOIN_TYPES}")
+    out: list[tuple[dict[str, object], dict[str, object] | None]] = []
+    for left_row in left_rows:
+        left_key = [left_row.get(name) for name in left_on]
+        matched = False
+        if all(value is not None for value in left_key):
+            for right_row in right_rows:
+                right_key = [right_row.get(name) for name in right_on]
+                if any(value is None for value in right_key):
+                    continue
+                if all(a == b for a, b in zip(left_key, right_key)):
+                    out.append((left_row, right_row))
+                    matched = True
+        if how == "left" and not matched:
+            out.append((left_row, None))
+    return out

@@ -42,6 +42,7 @@ from repro.table.chunkcache import ChunkCache, default_chunk_cache
 from repro.table.columnar import ColumnarFile, ROW_GROUP_SIZE, gather_column
 from repro.table.commit import CommitFile, DataFileMeta
 from repro.table.expr import Expression
+from repro.table.join import ColumnSet, concat_column_sets
 from repro.table.metacache import AcceleratedMetadataStore, MetadataStore
 from repro.table.pushdown import (
     AggregateSpec,
@@ -552,6 +553,95 @@ class TableObject:
         self._clock.advance(stats.data_cost_s)
         return result
 
+    def column_set(self, predicate: Expression | None = None,
+                   columns: list[str] | None = None,
+                   as_of: float | None = None,
+                   memory_budget_bytes: int | None = None,
+                   read_parallelism: int = 1,
+                   stats: QueryStats | None = None) -> ColumnSet:
+        """Scan into typed vectors — the join engine's table input.
+
+        Runs the same plan/prune/fetch path as :meth:`select` (metadata
+        cost, file- and row-group-level skipping, block/footer/chunk
+        tiers, parallel read waves) but stops *before* row
+        materialization: surviving rows stay decoded column vectors,
+        concatenated across files into one :class:`ColumnSet`.  The
+        planner joins these directly and only the final projection ever
+        builds Python rows.
+        """
+        if read_parallelism < 1:
+            raise ValueError("read_parallelism must be >= 1")
+        stats = stats if stats is not None else QueryStats()
+        candidates = self.scan_plan(
+            predicate, as_of=as_of,
+            memory_budget_bytes=memory_budget_bytes, stats=stats,
+        )
+        cache = self._chunk_cache
+        hierarchy = self._hierarchy
+        hits_before = cache.stats.hits
+        misses_before = cache.stats.misses
+        block_before = (hierarchy.blocks.stats.hits,
+                        hierarchy.blocks.stats.misses)
+        footer_before = (hierarchy.footers.stats.hits,
+                         hierarchy.footers.stats.misses)
+        read_costs: list[float] = []
+        parts: list[ColumnSet] = []
+        for meta in candidates:
+            stats.files_scanned += 1
+            stats.bytes_scanned += meta.size_bytes
+            data_file, read_cost = hierarchy.load_file(
+                self._pool, meta.path, now=self._clock.now
+            )
+            read_costs.append(read_cost)
+            if predicate is not None:
+                stats.row_groups_skipped += data_file.skipped_row_groups(
+                    predicate
+                )
+            stats.rows_scanned += data_file.num_rows
+            parts.append(
+                ColumnSet.from_file(data_file, columns, predicate, cache)
+            )
+        stats.chunk_cache_hits += cache.stats.hits - hits_before
+        stats.chunk_cache_misses += cache.stats.misses - misses_before
+        stats.block_cache_hits += (
+            hierarchy.blocks.stats.hits - block_before[0]
+        )
+        stats.block_cache_misses += (
+            hierarchy.blocks.stats.misses - block_before[1]
+        )
+        stats.footer_cache_hits += (
+            hierarchy.footers.stats.hits - footer_before[0]
+        )
+        stats.footer_cache_misses += (
+            hierarchy.footers.stats.misses - footer_before[1]
+        )
+        stats.data_cost_s += _parallel_read_time(read_costs, read_parallelism)
+        self._clock.advance(stats.data_cost_s)
+        if not parts:
+            return ColumnSet.from_rows(self.schema, [], columns)
+        result = concat_column_sets(parts)
+        stats.rows_returned = result.num_rows
+        return result
+
+    def current_snapshot_id(self) -> int:
+        """The current snapshot id (``-1`` before the first commit).
+
+        Result-cache keys embed this: a commit advances it, so stale
+        cached results are never returned for the new state.
+        """
+        return self.snapshots.current_version
+
+    def snapshot_id_at(self, as_of: float | None = None) -> int:
+        """The snapshot id a query at ``as_of`` resolves to.
+
+        Time travel resolves to the *historical* id — which is why an
+        ``as_of`` query stays warm in the result cache across later
+        commits: its key never changes.
+        """
+        if as_of is None:
+            return self.snapshots.current_version
+        return self.snapshots.snapshot_at(as_of).snapshot_id
+
     def select_rows(self, predicate: Expression | None = None,
                     columns: list[str] | None = None,
                     aggregate: "AggregateSpec | list[AggregateSpec] | None" = None,
@@ -907,6 +997,10 @@ class Lakehouse:
         table = self._tables.pop(name)
         table.info = info
         self._tables[new_name] = table
+        # the old name is free for reuse; a table recreated under it
+        # restarts its snapshot counter, so its ids could alias cached
+        # results of the restored table's history
+        self.cache_hierarchy.invalidate_results(name)
         return table
 
     def drop_table_hard(self, name: str) -> None:
@@ -923,4 +1017,7 @@ class Lakehouse:
             table.cache_hierarchy.invalidate(self._pool, meta.path)
             if self._pool.has_extent(meta.path):
                 self._pool.delete(meta.path)
+        # cached results must not survive a physical drop: a recreated
+        # table restarts snapshot ids, which would alias the dead keys
+        table.cache_hierarchy.invalidate_results(table.name)
         self._pool.garbage_collect()

@@ -72,6 +72,16 @@ class ColumnVector:
         """Materialize Python objects at the given row indices."""
         raise NotImplementedError
 
+    def gather(self, indices: np.ndarray) -> "ColumnVector":
+        """A new vector holding the given rows, still in typed form.
+
+        Unlike :meth:`take`, nothing materializes to Python objects —
+        this is how late materialization flows *through* a join: both
+        sides gather surviving row indices as vectors, and only the
+        final projection calls :meth:`take`.
+        """
+        raise NotImplementedError
+
     def to_list(self) -> list[object]:
         """Materialize the whole chunk as Python objects."""
         raise NotImplementedError
@@ -136,6 +146,9 @@ class NumericVector(ColumnVector):
         valid = self._valid[indices].tolist()
         return [v if ok else None for v, ok in zip(values, valid)]
 
+    def gather(self, indices: np.ndarray) -> "NumericVector":
+        return NumericVector(self.values[indices], self._valid[indices])
+
     def to_list(self) -> list[object]:
         values = self.values.tolist()
         valid = self._valid.tolist()
@@ -199,6 +212,9 @@ class DictStringVector(ColumnVector):
             None if code == null_code else dictionary[code]
             for code in self.codes[indices].tolist()
         ]
+
+    def gather(self, indices: np.ndarray) -> "DictStringVector":
+        return DictStringVector(self.dictionary, self.codes[indices])
 
     def to_list(self) -> list[object]:
         dictionary = self.dictionary

@@ -1,13 +1,15 @@
 """Workload generators: DPI packets, TPC-H, OpenMessaging-style driver."""
 
 from repro.workloads.packets import PacketGenerator, PACKET_NOMINAL_BYTES
-from repro.workloads.tpch import TPCHGenerator, generate_query_workload
+from repro.workloads.tpch import (TPCHGenerator, generate_join_workload,
+    generate_query_workload)
 from repro.workloads.openmessaging import OpenMessagingDriver, DriverReport
 
 __all__ = [
     "PacketGenerator",
     "PACKET_NOMINAL_BYTES",
     "TPCHGenerator",
+    "generate_join_workload",
     "generate_query_workload",
     "OpenMessagingDriver",
     "DriverReport",

@@ -53,6 +53,13 @@ ORDERS_SCHEMA = Schema([
     Column("o_orderpriority", ColumnType.STRING),
 ])
 
+SUPPLIER_SCHEMA = Schema([
+    Column("s_suppkey", ColumnType.INT64),
+    Column("s_nationkey", ColumnType.INT64),
+    Column("s_name", ColumnType.STRING),
+    Column("s_acctbal", ColumnType.FLOAT64),
+])
+
 _SHIPMODES = ("AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR")
 _RETURNFLAGS = ("R", "A", "N")
 _LINESTATUS = ("O", "F")
@@ -132,6 +139,20 @@ class TPCHGenerator:
             })
         return rows
 
+    def supplier(self) -> list[dict[str, object]]:
+        """The supplier dimension: covers lineitem's full 1..10000
+        ``l_suppkey`` domain, so supplier joins never lose rows."""
+        rng = np.random.default_rng(self.seed + 2)
+        rows = []
+        for index in range(10_000):
+            rows.append({
+                "s_suppkey": index + 1,
+                "s_nationkey": int(rng.integers(0, 25)),
+                "s_name": f"Supplier#{index + 1:09d}",
+                "s_acctbal": round(float(rng.uniform(-999.99, 9_999.99)), 2),
+            })
+        return rows
+
 
 def generate_query_workload(num_queries: int, seed: int = 0,
                             max_predicates: int = 3,
@@ -173,3 +194,43 @@ def generate_query_workload(num_queries: int, seed: int = 0,
                 atoms.append(Predicate(name, "<", round(start + width, 4)))
         workload.append(And(*atoms) if len(atoms) > 1 else atoms[0])
     return workload
+
+
+def generate_join_workload(num_queries: int, seed: int = 0,
+                           include_supplier: bool = True) -> list[str]:
+    """Random multi-table SQL over lineitem ⋈ orders [⋈ supplier].
+
+    Each statement is an aggregate join with per-table range predicates
+    whose bounds vary with ``seed`` — the driver workload for the
+    cost-based planner and the snapshot-keyed result cache benches.
+    """
+    rng = np.random.default_rng(seed)
+    queries: list[str] = []
+    for _ in range(num_queries):
+        quantity_high = int(rng.integers(5, 51))
+        price_low = round(float(rng.uniform(900.0, 400_000.0)), 2)
+        three_way = include_supplier and bool(rng.integers(0, 2))
+        predicates = (
+            f"l.l_quantity < {quantity_high} "
+            f"AND o.o_totalprice >= {price_low}"
+        )
+        if three_way:
+            queries.append(
+                "SELECT o.o_orderpriority, COUNT(*) AS n, "
+                "SUM(l.l_extendedprice) AS revenue "
+                "FROM lineitem l "
+                "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+                "JOIN supplier s ON l.l_suppkey = s.s_suppkey "
+                f"WHERE {predicates} "
+                "GROUP BY o.o_orderpriority ORDER BY n DESC"
+            )
+        else:
+            queries.append(
+                "SELECT l.l_returnflag, COUNT(*) AS n, "
+                "SUM(l.l_quantity) AS qty "
+                "FROM lineitem l "
+                "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+                f"WHERE {predicates} "
+                "GROUP BY l.l_returnflag ORDER BY n DESC"
+            )
+    return queries

@@ -99,3 +99,38 @@ def test_spn_estimation_cost_constant():
 def test_spn_training_cost_tracked():
     spn = SPNEstimator(make_rows(), ["x", "y"], sample_fraction=0.02)
     assert spn.training_cost_s > 0
+
+
+def test_unknown_column_raises_typed_error():
+    from repro.errors import EstimationError, UnknownEstimatorColumnError
+
+    spn = SPNEstimator(make_rows(), ["x", "y"], sample_fraction=0.02)
+    with pytest.raises(UnknownEstimatorColumnError) as excinfo:
+        spn.cardinality(And(Predicate("x", "<", 10.0),
+                            Predicate("zzz", ">", 1)))
+    assert excinfo.value.missing == ["zzz"]
+    assert excinfo.value.known == ["x", "y"]
+    assert "zzz" in str(excinfo.value)
+    # the typed error is part of the estimation-error family, not KeyError
+    assert isinstance(excinfo.value, EstimationError)
+    assert not isinstance(excinfo.value, KeyError)
+
+
+def test_estimate_reports_staleness():
+    spn = SPNEstimator(make_rows(), ["x", "y"], sample_fraction=0.02,
+                       trained_snapshot_id=3)
+    fresh = spn.estimate(Predicate("x", "<", 10.0), current_snapshot_id=3)
+    assert not fresh.stale
+    assert fresh.snapshots_behind == 0
+    stale = spn.estimate(Predicate("x", "<", 10.0), current_snapshot_id=7)
+    assert stale.stale
+    assert stale.snapshots_behind == 4
+    assert stale.rows == fresh.rows
+
+
+def test_estimate_without_provenance_never_stale():
+    spn = SPNEstimator(make_rows(), ["x", "y"], sample_fraction=0.02)
+    estimate = spn.estimate(Predicate("x", "<", 10.0))
+    assert spn.trained_snapshot_id is None
+    assert not estimate.stale
+    assert estimate.snapshots_behind == 0

@@ -1,0 +1,213 @@
+"""Vectorized hash join vs the nested-loop oracle (tests-only import)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.context import ExecutionContext, use_context
+from repro.table.join import (
+    ColumnSet,
+    concat_column_sets,
+    gather_with_nulls,
+    hash_join,
+    join_rows,
+)
+from repro.table.schema import Column, ColumnType, Schema
+from repro.table.vector import DictStringVector, NumericVector
+
+INT_SCHEMA = Schema([
+    Column("k", ColumnType.INT64, nullable=True),
+    Column("v", ColumnType.INT64),
+])
+TWO_KEY_SCHEMA = Schema([
+    Column("k", ColumnType.INT64, nullable=True),
+    Column("s", ColumnType.STRING, nullable=True),
+    Column("v", ColumnType.INT64),
+])
+
+
+def _int_rows(keys: list[int | None]) -> list[dict[str, object]]:
+    return [{"k": key, "v": position} for position, key in enumerate(keys)]
+
+
+def _oracle_pairs(left_rows, right_rows, left_on, right_on, how):
+    """Oracle output as (left v, right v | None) pairs."""
+    return [
+        (left["v"], None if right is None else right["v"])
+        for left, right in join_rows(
+            left_rows, right_rows, left_on, right_on, how
+        )
+    ]
+
+
+def _kernel_pairs(left_rows, right_rows, schema_left, schema_right,
+                  left_on, right_on, how):
+    left = ColumnSet.from_rows(schema_left, left_rows)
+    right = ColumnSet.from_rows(schema_right, right_rows)
+    result = hash_join(left, right, left_on, right_on, how)
+    left_v = left.columns["v"].gather(result.left_indices).to_list()
+    right_v = gather_with_nulls(
+        right.columns["v"], result.right_indices
+    ).to_list()
+    return list(zip(left_v, right_v))
+
+
+nullable_keys = st.lists(
+    st.one_of(st.none(), st.integers(min_value=-5, max_value=8)),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left_keys=nullable_keys, right_keys=nullable_keys,
+       how=st.sampled_from(["inner", "left"]))
+def test_int_keys_match_oracle(left_keys, right_keys, how):
+    """Duplicate keys, NULL keys, empty sides — all match the oracle."""
+    left_rows = _int_rows(left_keys)
+    right_rows = _int_rows(right_keys)
+    assert _kernel_pairs(
+        left_rows, right_rows, INT_SCHEMA, INT_SCHEMA, ["k"], ["k"], how
+    ) == _oracle_pairs(left_rows, right_rows, ["k"], ["k"], how)
+
+
+string_keys = st.lists(
+    st.one_of(st.none(), st.sampled_from(["ab", "cd", "ef", "g", ""])),
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left_keys=string_keys, right_keys=string_keys,
+       how=st.sampled_from(["inner", "left"]))
+def test_string_keys_match_oracle(left_keys, right_keys, how):
+    """Dictionary-encoded string keys remap into one shared code space."""
+    schema = Schema([
+        Column("k", ColumnType.STRING, nullable=True),
+        Column("v", ColumnType.INT64),
+    ])
+    left_rows = _int_rows(left_keys)
+    right_rows = _int_rows(right_keys)
+    assert _kernel_pairs(
+        left_rows, right_rows, schema, schema, ["k"], ["k"], how
+    ) == _oracle_pairs(left_rows, right_rows, ["k"], ["k"], how)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    left=st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+            st.one_of(st.none(), st.sampled_from(["x", "y"])),
+        ),
+        max_size=25,
+    ),
+    right=st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+            st.one_of(st.none(), st.sampled_from(["x", "y"])),
+        ),
+        max_size=25,
+    ),
+    how=st.sampled_from(["inner", "left"]),
+)
+def test_multi_column_keys_match_oracle(left, right, how):
+    """Composite (int, string) keys: any NULL component kills the match."""
+    left_rows = [
+        {"k": key, "s": tag, "v": position}
+        for position, (key, tag) in enumerate(left)
+    ]
+    right_rows = [
+        {"k": key, "s": tag, "v": position}
+        for position, (key, tag) in enumerate(right)
+    ]
+    assert _kernel_pairs(
+        left_rows, right_rows, TWO_KEY_SCHEMA, TWO_KEY_SCHEMA,
+        ["k", "s"], ["k", "s"], how,
+    ) == _oracle_pairs(left_rows, right_rows, ["k", "s"], ["k", "s"], how)
+
+
+def test_empty_build_side_left_outer_pads_all_rows():
+    left_rows = _int_rows([1, 2, None])
+    result = _kernel_pairs(left_rows, [], INT_SCHEMA, INT_SCHEMA,
+                           ["k"], ["k"], "left")
+    assert result == [(0, None), (1, None), (2, None)]
+
+
+def test_empty_probe_side_emits_nothing():
+    right_rows = _int_rows([1, 1, 2])
+    for how in ("inner", "left"):
+        assert _kernel_pairs([], right_rows, INT_SCHEMA, INT_SCHEMA,
+                             ["k"], ["k"], how) == []
+
+
+def test_null_keys_never_match_even_each_other():
+    left_rows = _int_rows([None, 1])
+    right_rows = _int_rows([None, 1])
+    assert _kernel_pairs(left_rows, right_rows, INT_SCHEMA, INT_SCHEMA,
+                         ["k"], ["k"], "inner") == [(1, 1)]
+
+
+def test_cross_type_keys_never_match():
+    """An int column joined against a string column matches nothing."""
+    left = ColumnSet.from_rows(INT_SCHEMA, _int_rows([1, 2]))
+    right_schema = Schema([
+        Column("k", ColumnType.STRING, nullable=True),
+        Column("v", ColumnType.INT64),
+    ])
+    right = ColumnSet.from_rows(right_schema, [{"k": "1", "v": 0}])
+    assert hash_join(left, right, ["k"], ["k"], "inner").num_rows == 0
+
+
+def test_unknown_join_type_rejected():
+    left = ColumnSet.from_rows(INT_SCHEMA, _int_rows([1]))
+    with pytest.raises(ValueError, match="unsupported join type"):
+        hash_join(left, left, ["k"], ["k"], "right")
+
+
+def test_join_counters_accumulate():
+    context = ExecutionContext("join-counters")
+    left_rows = _int_rows([1, 1, 2, None])
+    right_rows = _int_rows([1, 3])
+    with use_context(context):
+        _kernel_pairs(left_rows, right_rows, INT_SCHEMA, INT_SCHEMA,
+                      ["k"], ["k"], "inner")
+    snapshot = context.joins.snapshot()
+    assert snapshot["joins_executed"] == 1
+    assert snapshot["build_rows"] == 2
+    assert snapshot["probe_rows"] == 4
+    assert snapshot["matches_emitted"] == 2
+
+
+def test_output_order_is_probe_major_build_minor():
+    """Probe rows ascending; duplicate build keys keep build-row order."""
+    left = ColumnSet.from_rows(INT_SCHEMA, _int_rows([2, 1]))
+    right = ColumnSet.from_rows(INT_SCHEMA, _int_rows([1, 2, 1]))
+    result = hash_join(left, right, ["k"], ["k"], "inner")
+    assert result.left_indices.tolist() == [0, 1, 1]
+    assert result.right_indices.tolist() == [1, 0, 2]
+
+
+def test_concat_column_sets_roundtrip():
+    rows = _int_rows([1, None, 3, 4, 5])
+    parts = [
+        ColumnSet.from_rows(INT_SCHEMA, rows[:2]),
+        ColumnSet.from_rows(INT_SCHEMA, rows[2:]),
+    ]
+    merged = concat_column_sets(parts)
+    assert merged.num_rows == 5
+    assert merged.to_rows() == rows
+
+
+def test_gather_with_nulls_string_vector():
+    vector = DictStringVector(["a", "b"], np.array([0, 1, 2],
+                                                   dtype=np.uint32))
+    gathered = gather_with_nulls(vector, np.array([1, -1, 0], dtype=np.intp))
+    assert gathered.to_list() == ["b", None, "a"]
+
+
+def test_gather_with_nulls_numeric_vector():
+    vector = NumericVector(np.array([10, 20]), np.array([True, False]))
+    gathered = gather_with_nulls(vector, np.array([0, -1, 1], dtype=np.intp))
+    assert gathered.to_list() == [10, None, None]

@@ -183,3 +183,88 @@ def test_time_travel_through_sql(loaded_lakehouse, clock):
                        as_of=checkpoint)
     assert latest[0]["COUNT"] == 121
     assert historical[0]["COUNT"] == 120
+
+
+def test_limit_without_order(loaded_lakehouse):
+    rows = query(loaded_lakehouse,
+                 "SELECT url FROM TB_DPI_LOG_HOURS LIMIT 7")
+    assert len(rows) == 7
+
+
+def test_limit_zero(loaded_lakehouse):
+    assert query(loaded_lakehouse,
+                 "SELECT url FROM TB_DPI_LOG_HOURS LIMIT 0") == []
+
+
+def test_multi_column_order_by_is_a_loud_error():
+    with pytest.raises(SQLError, match="multi-column ORDER BY"):
+        parse_select("SELECT a, b FROM t ORDER BY a, b")
+
+
+def test_order_by_expression_is_a_loud_error():
+    with pytest.raises(SQLError, match="unsupported ORDER BY"):
+        parse_select("SELECT a FROM t ORDER BY LOWER(a)")
+
+
+def test_offset_and_having_rejected_clearly():
+    with pytest.raises(SQLError, match="OFFSET is not supported"):
+        parse_select("SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 2")
+    with pytest.raises(SQLError, match="HAVING is not supported"):
+        parse_select(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1"
+        )
+
+
+def test_keywords_inside_string_literals_still_parse():
+    statement = parse_select(
+        "SELECT url FROM t WHERE url = 'use OFFSET here'"
+    )
+    assert statement.predicate is not None
+
+
+def test_multi_table_parse_structure():
+    from repro.table.sql import JoinSelectStatement
+
+    statement = parse_select(
+        "SELECT l.a, o.b FROM lineitem l "
+        "JOIN orders o ON l.k = o.k "
+        "LEFT JOIN supplier AS s ON l.s = s.s "
+        "WHERE l.a < 5 ORDER BY b LIMIT 3"
+    )
+    assert isinstance(statement, JoinSelectStatement)
+    assert [ref.name for ref in statement.tables] == [
+        "lineitem", "orders", "supplier"
+    ]
+    assert [ref.alias for ref in statement.tables] == ["l", "o", "s"]
+    assert statement.hows == ("inner", "left")
+    assert statement.on_pairs == (("l.k", "o.k"), ("l.s", "s.s"))
+    assert len(statement.where_atoms) == 1
+    assert statement.limit == 3
+
+
+def test_comma_from_parses_as_join():
+    from repro.table.sql import JoinSelectStatement
+
+    statement = parse_select(
+        "SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.v > 2"
+    )
+    assert isinstance(statement, JoinSelectStatement)
+    assert statement.on_pairs == (("a.k", "b.k"),)
+    assert len(statement.where_atoms) == 1
+
+
+def test_join_without_on_rejected():
+    with pytest.raises(SQLError, match="missing its ON clause"):
+        parse_select("SELECT a FROM t JOIN u WHERE t.k = 1")
+
+
+def test_non_equi_on_condition_rejected():
+    with pytest.raises(SQLError, match="equi-join"):
+        parse_select("SELECT a FROM t JOIN u ON t.k < u.k")
+
+
+def test_single_table_statements_still_single(loaded_lakehouse):
+    from repro.table.sql import SelectStatement
+
+    statement = parse_select("SELECT url FROM TB_DPI_LOG_HOURS")
+    assert isinstance(statement, SelectStatement)
