@@ -1,0 +1,492 @@
+"""Multi-tenant serving: fair-share isolation and tail-latency SLOs.
+
+The serving front end (:mod:`repro.serving`) puts quotas, admission
+control and deficit-round-robin scheduling between tenants and the
+shared stream data path.  This bench measures what that buys, against a
+deterministically calibrated bus capacity ``C`` (simulated msg/s for
+the bench's batch shape):
+
+* **isolation** — a Zipf-skewed cohort of compliant tenants, each
+  offered at 50% of its registered quota, runs once *alone* and once
+  *sharing* the front end with an abuser offering 10x its quota.  The
+  acceptance bar: no compliant tenant's p99 produce latency degrades
+  more than 2x versus its alone run (the abuser is clipped to its
+  quota by admission, and DRR bounds what its admitted bytes can
+  displace);
+* **unscheduled baseline** — the same offered loads delivered straight
+  to the service in arrival order (no admission, no scheduler), as a
+  single FIFO.  With the abuser present the offered rate exceeds
+  capacity, the queue grows without bound, and every tenant's p99
+  explodes — the contrast number for the isolation claim.  The
+  abuser-free baseline doubles as the throughput-overhead check: the
+  scheduled path must deliver the same cohort at comparable throughput;
+* **serial == sharded** — the identity workload runs its tenant shards
+  once sequentially in a single execution context and once under forked
+  per-shard contexts reunited by ``merge``; per-tenant p50/p99/p999
+  snapshots and every countable admission/throttle counter must be
+  byte-identical (the two seconds-accumulators may differ by ulps:
+  per-shard float subtotals are not bit-associative with one serial
+  sum — the bench bounds that drift at 1e-9 relative).
+
+Results land in ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import ResultTable
+from repro.common import stats
+from repro.common.clock import SimClock
+from repro.common.context import ExecutionContext, use_context
+from repro.serving import ServingFrontend, SLOTracker, TenantQuota, TenantRegistry
+from repro.storage.bus import DataBus
+from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.plog import PLogManager
+from repro.storage.pool import StoragePool
+from repro.storage.redundancy import erasure_coding_policy
+from repro.stream.config import TopicConfig
+from repro.stream.records import pack_values
+from repro.stream.service import MessageStreamingService
+from repro.workloads import MultiTenantOpenMessagingDriver, TenantLoad, zipf_rates
+
+NUM_TENANTS = 12
+STREAM_NUM = 256
+BATCH_SIZE = 500
+MESSAGE_BYTES = 1024
+PAYLOAD = b"m" * (MESSAGE_BYTES - 64)
+ROUND_SECONDS = 0.25
+#: the abuser offers this multiple of its registered quota
+ABUSER_FACTOR = 10
+#: which cohort rank the abuser's quota copies (a mid-heavy tenant, so
+#: factor x quota pushes the combined offered load past bus capacity)
+ABUSER_RANK = 2
+#: offered records in the contended scenario (drives the run duration)
+SHARED_OFFERED_TARGET = 10_500_000
+IDENTITY_SHARDS = 4
+IDENTITY_TENANTS_PER_SHARD = 3
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+
+def _build_frontend(topic: str, stream_num: int,
+                    quotas: dict[str, TenantQuota]):
+    """A fresh service stack with one topic and a serving front end."""
+    clock = SimClock()
+    pool = StoragePool(f"{topic}-pool", clock,
+                       policy=erasure_coding_policy(4, 2))
+    pool.add_disks(NVME_SSD_PROFILE, 8)
+    bus = DataBus(clock)
+    plogs = PLogManager(pool, clock)
+    service = MessageStreamingService(plogs, bus, clock, num_workers=4)
+    service.create_topic(topic, TopicConfig(stream_num=stream_num))
+    registry = TenantRegistry()
+    for tenant_id, quota in quotas.items():
+        registry.register(tenant_id, quota)
+    return service, ServingFrontend(service, registry)
+
+
+def calibrate_capacity(batch_size: int = BATCH_SIZE) -> float:
+    """Simulated bus capacity (msg/s) for this bench's batch shape.
+
+    Fully deterministic — the cost model is simulated, so every machine
+    computes the same number; the scenario rates derive from it, which
+    keeps "the abuser saturates the bus" true by construction.
+    """
+    with use_context(ExecutionContext(name="serving-calibrate")):
+        service, frontend = _build_frontend("calibrate", STREAM_NUM, {
+            "cal": TenantQuota(rate_msgs_per_s=1e9, rate_bytes_per_s=1e12,
+                               max_in_flight=100_000),
+        })
+        clock = service.clock
+        messages = 0
+        started = clock.now
+        for index in range(40):
+            frontend.produce("cal", "calibrate", [PAYLOAD] * batch_size,
+                             keys=[f"k{index}"] * batch_size,
+                             batch_size=batch_size)
+            messages += batch_size
+        frontend.drain()
+        return messages / (clock.now - started)
+
+
+def _cohort(capacity: float, num_tenants: int) -> list[tuple[str, float]]:
+    """(tenant, quota rate) pairs; quotas sum to the bus capacity."""
+    rates = zipf_rates(num_tenants, capacity)
+    return [(f"t{index:02d}", rate) for index, rate in enumerate(rates)]
+
+
+def run_scheduled(topic: str, cohort: list[tuple[str, float]],
+                  duration_s: float, stream_num: int, batch_size: int,
+                  abuser_rate: float | None = None) -> dict:
+    """One closed-loop driver run through the front end.
+
+    Compliant tenants are offered at half their quota (their own token
+    buckets never queue, so latency differences are pure scheduling);
+    the abuser, when present, offers ``ABUSER_FACTOR`` x its quota.
+    """
+    with use_context(ExecutionContext(name=f"serving-{topic}")):
+        quotas = {
+            tenant: TenantQuota(
+                rate_msgs_per_s=rate,
+                rate_bytes_per_s=rate * MESSAGE_BYTES * 2,
+                max_in_flight=1024,
+            )
+            for tenant, rate in cohort
+        }
+        loads = [
+            TenantLoad(tenant_id=tenant, rate_msgs_per_s=rate / 2,
+                       messages=int(rate / 2 * duration_s))
+            for tenant, rate in cohort
+        ]
+        if abuser_rate is not None:
+            quotas["abuser"] = TenantQuota(
+                rate_msgs_per_s=abuser_rate,
+                rate_bytes_per_s=abuser_rate * MESSAGE_BYTES * 2,
+                max_in_flight=1024, burst_s=0.25,
+            )
+            loads.append(TenantLoad(
+                tenant_id="abuser",
+                rate_msgs_per_s=abuser_rate * ABUSER_FACTOR,
+                messages=int(abuser_rate * ABUSER_FACTOR * duration_s),
+            ))
+        service, frontend = _build_frontend(topic, stream_num, quotas)
+        driver = MultiTenantOpenMessagingDriver(
+            frontend, topic, loads, batch_size=batch_size,
+            message_bytes=MESSAGE_BYTES, round_seconds=ROUND_SECONDS,
+        )
+        wall_started = time.perf_counter()
+        report = driver.run()
+        return {
+            "offered": sum(o.offered for o in report.tenants.values()),
+            "sent": report.messages_sent,
+            "shed": report.messages_shed,
+            "sim_seconds": report.sim_seconds,
+            "throughput_msgs_per_s": report.achieved_throughput,
+            "rounds": report.rounds,
+            "wall_seconds": time.perf_counter() - wall_started,
+            "tenants": {
+                tenant: {
+                    "offered": outcome.offered,
+                    "sent": outcome.sent,
+                    "rejected_quota": outcome.rejected_quota,
+                    "rejected_inflight": outcome.rejected_inflight,
+                    "throttled": outcome.throttled,
+                    "p50_s": outcome.p50_latency_s,
+                    "p99_s": outcome.p99_latency_s,
+                    "p999_s": outcome.p999_latency_s,
+                }
+                for tenant, outcome in sorted(report.tenants.items())
+            },
+            "serving_counters": stats.serving_stats().snapshot(),
+        }
+
+
+def run_unscheduled(topic: str, cohort: list[tuple[str, float]],
+                    duration_s: float, stream_num: int, batch_size: int,
+                    abuser_rate: float | None = None) -> dict:
+    """The same offered loads with no front end: arrival-order FIFO.
+
+    Every request is delivered the moment it arrives, behind whatever
+    is already in the (single, shared) service queue — no quotas, no
+    shedding, no fair share.  Latency is completion minus arrival.
+    """
+    with use_context(ExecutionContext(name=f"baseline-{topic}")):
+        service, _ = _build_frontend(topic, stream_num, {
+            "any": TenantQuota(rate_msgs_per_s=1e12, rate_bytes_per_s=1e15),
+        })
+        clock = service.clock
+        route_key = service.dispatcher.route_key
+        offered = [
+            (tenant, rate / 2, int(rate / 2 * duration_s))
+            for tenant, rate in cohort
+        ]
+        if abuser_rate is not None:
+            offered.append((
+                "abuser", abuser_rate * ABUSER_FACTOR,
+                int(abuser_rate * ABUSER_FACTOR * duration_s),
+            ))
+        total_rate = sum(rate for _, rate, _ in offered)
+        remaining = {tenant: messages for tenant, _, messages in offered}
+        latencies = {tenant: SLOTracker() for tenant in remaining}
+        sequence = {tenant: 0 for tenant in remaining}
+        request_index = 0
+        busy_until = 0.0
+        sent = 0
+        wall_started = time.perf_counter()
+        while any(remaining.values()):
+            round_start = clock.now
+            arrivals = 0
+            for tenant, rate, _ in offered:
+                offer = min(remaining[tenant],
+                            max(batch_size, int(rate * ROUND_SECONDS)))
+                while offer > 0:
+                    count = min(batch_size, offer)
+                    offer -= count
+                    remaining[tenant] -= count
+                    arrivals += count
+                    key = f"{tenant}/{request_index}"
+                    request_index += 1
+                    batch = pack_values(
+                        topic, [PAYLOAD] * count, key, round_start,
+                        f"base:{tenant}", sequence[tenant], None,
+                    )
+                    sequence[tenant] += count
+                    cost = service.deliver(route_key(topic, key), batch)
+                    start = max(round_start, busy_until)
+                    busy_until = start + cost
+                    latencies[tenant].record_produce(
+                        tenant, busy_until - round_start)
+                    sent += count
+            # open loop: arrivals keep coming at the offered rate no
+            # matter how far behind the FIFO has fallen
+            clock.advance_to(round_start + arrivals / total_rate)
+        finish = max(busy_until, clock.now)
+        return {
+            "sent": sent,
+            "sim_seconds": finish,
+            "throughput_msgs_per_s": sent / finish,
+            "queue_lag_s": max(0.0, busy_until - clock.now),
+            "wall_seconds": time.perf_counter() - wall_started,
+            "tenants": {
+                tenant: tracker.snapshot()[tenant]
+                for tenant, tracker in sorted(latencies.items())
+            },
+        }
+
+
+# --- serial vs sharded identity ----------------------------------------------
+
+
+def _run_identity_shard(shard: int, rate_total: float,
+                        stream_num: int, batch_size: int) -> SLOTracker:
+    """One shard's tenants, stack and driver — pure function of args."""
+    topic = f"ident{shard}"
+    rates = zipf_rates(IDENTITY_TENANTS_PER_SHARD, rate_total)
+    quotas = {}
+    loads = []
+    for index, rate in enumerate(rates):
+        tenant = f"s{shard}.t{index}"
+        quotas[tenant] = TenantQuota(
+            rate_msgs_per_s=rate, rate_bytes_per_s=rate * MESSAGE_BYTES * 2,
+            max_in_flight=1024,
+        )
+        # the head tenant is offered over quota, so the identity check
+        # covers rejection counters too, not just the latency stores
+        over = 2.0 if index == 0 else 0.5
+        loads.append(TenantLoad(
+            tenant_id=tenant, rate_msgs_per_s=rate * over,
+            messages=int(rate * over) + 337 * (shard + 1) + 41 * index,
+        ))
+    _, frontend = _build_frontend(topic, stream_num, quotas)
+    MultiTenantOpenMessagingDriver(
+        frontend, topic, loads, batch_size=batch_size,
+        message_bytes=MESSAGE_BYTES, round_seconds=ROUND_SECONDS,
+    ).run()
+    return frontend.slo
+
+
+def _counters_match(serial: dict, sharded: dict) -> tuple[bool, float]:
+    """Exact match for counts; 1e-9 relative for time accumulators.
+
+    Seconds counters are float sums, and summing per-shard subtotals is
+    not bit-associative with one serial accumulation — the values agree
+    to the last few ulps, never more.  Everything countable (requests,
+    records, bytes, rejections, violations) must be exactly equal.
+    """
+    if set(serial) != set(sharded):
+        return False, float("inf")
+    drift = 0.0
+    for key, value in serial.items():
+        other = sharded[key]
+        if key.endswith("_s"):
+            scale = max(abs(value), abs(other), 1e-12)
+            drift = max(drift, abs(value - other) / scale)
+        elif value != other:
+            return False, float("inf")
+    return drift <= 1e-9, drift
+
+
+def run_identity(rate_total: float, stream_num: int,
+                 batch_size: int) -> dict:
+    """Serial run vs forked-and-merged shard runs: snapshots must match."""
+    serial_ctx = ExecutionContext(name="serving-serial")
+    serial_slo = SLOTracker()
+    with use_context(serial_ctx):
+        for shard in range(IDENTITY_SHARDS):
+            serial_slo.merge(_run_identity_shard(
+                shard, rate_total, stream_num, batch_size))
+
+    sharded_ctx = ExecutionContext(name="serving-sharded")
+    sharded_slo = SLOTracker()
+    for shard in range(IDENTITY_SHARDS):
+        child = sharded_ctx.fork(f"serving-shard-{shard}")
+        with use_context(child):
+            sharded_slo.merge(_run_identity_shard(
+                shard, rate_total, stream_num, batch_size))
+        sharded_ctx.merge(child)
+
+    serial = {
+        "slo": serial_slo.snapshot(),
+        "serving_counters": serial_ctx.snapshot()["serving"],
+    }
+    sharded = {
+        "slo": sharded_slo.snapshot(),
+        "serving_counters": sharded_ctx.snapshot()["serving"],
+    }
+    counters_ok, drift = _counters_match(
+        serial["serving_counters"], sharded["serving_counters"])
+    return {
+        "shards": IDENTITY_SHARDS,
+        "tenants": IDENTITY_SHARDS * IDENTITY_TENANTS_PER_SHARD,
+        "identical": serial["slo"] == sharded["slo"] and counters_ok,
+        "slo_exactly_identical": serial["slo"] == sharded["slo"],
+        "counter_time_drift_rel": drift,
+        "serial": serial,
+        "sharded": sharded,
+    }
+
+
+def run_serving_bench(num_tenants: int = NUM_TENANTS,
+                      stream_num: int = STREAM_NUM,
+                      batch_size: int = BATCH_SIZE,
+                      shared_offered_target: int = SHARED_OFFERED_TARGET,
+                      result_path: Path | None = RESULT_PATH) -> dict:
+    capacity = calibrate_capacity(batch_size)
+    cohort = _cohort(capacity, num_tenants)
+    abuser_rate = cohort[ABUSER_RANK][1]
+    # duration that makes the contended scenario offer the target count:
+    # compliant cohort at capacity/2 plus the abuser at factor x quota
+    shared_rate = capacity / 2 + abuser_rate * ABUSER_FACTOR
+    duration_s = shared_offered_target / shared_rate
+
+    print(f"calibrated capacity: {capacity:,.0f} msg/s; "
+          f"abuser quota {abuser_rate:,.0f} msg/s offered x{ABUSER_FACTOR}; "
+          f"{duration_s:.1f} sim s per scenario")
+
+    alone = run_scheduled("alone", cohort, duration_s, stream_num,
+                          batch_size)
+    shared = run_scheduled("shared", cohort, duration_s, stream_num,
+                           batch_size, abuser_rate=abuser_rate)
+    base_alone = run_unscheduled("base_alone", cohort, duration_s,
+                                 stream_num, batch_size)
+    base_shared = run_unscheduled("base_shared", cohort, duration_s,
+                                  stream_num, batch_size,
+                                  abuser_rate=abuser_rate)
+    identity = run_identity(capacity / 8, min(stream_num, 32), batch_size)
+
+    ratios = {}
+    baseline_ratios = {}
+    for tenant, _ in cohort:
+        alone_p99 = alone["tenants"][tenant]["p99_s"]
+        ratios[tenant] = shared["tenants"][tenant]["p99_s"] / alone_p99
+        baseline_ratios[tenant] = (
+            base_shared["tenants"][tenant]["produce_p99_s"] / alone_p99
+        )
+    abuser = shared["tenants"]["abuser"]
+
+    results = {
+        "capacity_msgs_per_s": capacity,
+        "num_tenants": num_tenants,
+        "stream_num": stream_num,
+        "batch_size": batch_size,
+        "message_bytes": MESSAGE_BYTES,
+        "abuser_factor": ABUSER_FACTOR,
+        "duration_sim_s": duration_s,
+        "offered_records_shared": shared["offered"],
+        "scenarios": {
+            "scheduled_alone": alone,
+            "scheduled_shared": shared,
+            "unscheduled_alone": base_alone,
+            "unscheduled_shared": base_shared,
+        },
+        "isolation": {
+            "p99_ratio_by_tenant": ratios,
+            "max_p99_ratio": max(ratios.values()),
+            "baseline_p99_ratio_by_tenant": baseline_ratios,
+            "baseline_max_p99_ratio": max(baseline_ratios.values()),
+            "abuser_sent_fraction_of_offered": (
+                abuser["sent"] / abuser["offered"]
+            ),
+        },
+        "throughput": {
+            "scheduled_alone_msgs_per_s": alone["throughput_msgs_per_s"],
+            "unscheduled_alone_msgs_per_s": (
+                base_alone["throughput_msgs_per_s"]
+            ),
+            "scheduled_vs_unscheduled": (
+                alone["throughput_msgs_per_s"]
+                / base_alone["throughput_msgs_per_s"]
+            ),
+        },
+        "sharded_identity": identity,
+    }
+    if result_path is not None:
+        result_path.write_text(json.dumps(results, indent=2) + "\n")
+
+    table = ResultTable(
+        f"serving isolation: {num_tenants} tenants + 1 abuser "
+        f"(x{ABUSER_FACTOR} quota), {stream_num} streams, "
+        f"{shared['offered']:,} records offered",
+        ["tenant", "alone p99", "shared p99", "ratio", "FIFO p99 ratio"],
+    )
+    show = [cohort[0][0], cohort[num_tenants // 2][0], cohort[-1][0]]
+    for tenant in show:
+        table.add_row(
+            tenant,
+            f"{alone['tenants'][tenant]['p99_s'] * 1e3:,.1f} ms",
+            f"{shared['tenants'][tenant]['p99_s'] * 1e3:,.1f} ms",
+            f"{ratios[tenant]:.2f}x",
+            f"{baseline_ratios[tenant]:.1f}x",
+        )
+    table.add_row(
+        "max", "-", "-",
+        f"{results['isolation']['max_p99_ratio']:.2f}x",
+        f"{results['isolation']['baseline_max_p99_ratio']:.1f}x",
+    )
+    table.show()
+    admitted_pct = (
+        100 * results["isolation"]["abuser_sent_fraction_of_offered"]
+    )
+    print(
+        f"abuser admitted {abuser['sent']:,}/{abuser['offered']:,} "
+        f"({admitted_pct:.0f}% of offered; "
+        f"{abuser['rejected_quota']:,} shed at "
+        f"admission); scheduled/unscheduled cohort throughput "
+        f"{results['throughput']['scheduled_vs_unscheduled']:.2f}x; "
+        f"serial == sharded: {identity['identical']}"
+    )
+    return results
+
+
+def test_serving_isolation(benchmark) -> None:
+    from conftest import run_once
+
+    results = run_once(benchmark, run_serving_bench)
+    assert results["isolation"]["max_p99_ratio"] <= 2.0
+    assert results["isolation"]["baseline_max_p99_ratio"] > \
+        results["isolation"]["max_p99_ratio"]
+    assert results["isolation"]["abuser_sent_fraction_of_offered"] < 0.5
+    assert results["throughput"]["scheduled_vs_unscheduled"] >= 0.5
+    assert results["sharded_identity"]["identical"]
+    assert results["offered_records_shared"] >= 10_000_000
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    outcome = run_serving_bench(
+        num_tenants=6 if smoke else NUM_TENANTS,
+        stream_num=32 if smoke else STREAM_NUM,
+        batch_size=250 if smoke else BATCH_SIZE,
+        shared_offered_target=150_000 if smoke else SHARED_OFFERED_TARGET,
+        result_path=None if smoke else RESULT_PATH,
+    )
+    if outcome["isolation"]["max_p99_ratio"] > 2.0:
+        raise SystemExit(
+            f"isolation too weak: compliant p99 degraded "
+            f"{outcome['isolation']['max_p99_ratio']:.2f}x > 2x"
+        )
+    if not outcome["sharded_identity"]["identical"]:
+        raise SystemExit("serial and sharded serving runs diverged")

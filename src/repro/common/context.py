@@ -56,6 +56,7 @@ from repro.common.stats import (
     FaultStats,
     IngestStats,
     JoinStats,
+    ServingStats,
 )
 from repro.common.units import MiB
 
@@ -102,6 +103,7 @@ class ExecutionContext:
                  aggregation: AggregationStats | None = None,
                  faults: FaultStats | None = None,
                  joins: JoinStats | None = None,
+                 serving: ServingStats | None = None,
                  caches: dict[str, CacheStats] | None = None,
                  rng: random.Random | None = None,
                  clock: SimClock | None = None,
@@ -118,6 +120,7 @@ class ExecutionContext:
         )
         self.faults = faults if faults is not None else FaultStats()
         self.joins = joins if joins is not None else JoinStats()
+        self.serving = serving if serving is not None else ServingStats()
         self.caches: dict[str, CacheStats] = (
             caches if caches is not None else {}
         )
@@ -194,6 +197,7 @@ class ExecutionContext:
         self.aggregation.merge(other.aggregation)
         self.faults.merge(other.faults)
         self.joins.merge(other.joins)
+        self.serving.merge(other.serving)
         for name, stats in other.caches.items():
             self.cache_stats(name).merge(stats)
 
@@ -204,6 +208,7 @@ class ExecutionContext:
         self.aggregation.reset()
         self.faults.reset()
         self.joins.reset()
+        self.serving.reset()
         for stats in self.caches.values():
             stats.reset()
 
@@ -215,6 +220,7 @@ class ExecutionContext:
             "aggregation": self.aggregation.snapshot(),
             "faults": self.faults.snapshot(),
             "joins": self.joins.snapshot(),
+            "serving": self.serving.snapshot(),
         }
         for name, stats in sorted(self.caches.items()):
             out[f"cache:{name}"] = stats.snapshot()

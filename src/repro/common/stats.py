@@ -316,6 +316,66 @@ def join_stats() -> JoinStats:
     return current_context().joins
 
 
+class ServingStats(_AdditiveCounters):
+    """Counters for the multi-tenant serving front end.
+
+    Incremented by :mod:`repro.serving` — admission control
+    (:class:`~repro.serving.admission.AdmissionController`), the
+    deficit-round-robin scheduler
+    (:class:`~repro.serving.scheduler.FairScheduler`), backpressure and
+    the SLO tracker.  Every field is additive, so per-shard serving
+    counters fold back through the context fork/merge algebra exactly
+    like the other stat families; ``bench_serving.py`` asserts the
+    merged sharded snapshot is value-identical to the serial one.
+    """
+
+    def __init__(self) -> None:
+        # --- admission control ---
+        self.requests_admitted = 0    # admit() calls that returned a ticket
+        self.records_admitted = 0
+        self.bytes_admitted = 0
+        self.queued_admissions = 0    # admissions that waited for tokens
+        self.queue_delay_s = 0.0      # total token-wait across admissions
+        self.rejected_quota = 0       # QuotaExceededError raised
+        self.rejected_inflight = 0    # AdmissionRejectedError: in-flight cap
+        # --- backpressure ---
+        self.throttle_events = 0      # produces refused or delayed by lag
+        self.throttle_delay_s = 0.0
+        # --- fair scheduler ---
+        self.batches_scheduled = 0    # batches dispatched by the DRR loop
+        self.bytes_scheduled = 0
+        self.scheduler_rounds = 0     # DRR tenant visits
+        # --- SLO tracking ---
+        self.slo_violations = 0       # latency samples above a tenant target
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "requests_admitted": self.requests_admitted,
+            "records_admitted": self.records_admitted,
+            "bytes_admitted": self.bytes_admitted,
+            "queued_admissions": self.queued_admissions,
+            "queue_delay_s": self.queue_delay_s,
+            "rejected_quota": self.rejected_quota,
+            "rejected_inflight": self.rejected_inflight,
+            "throttle_events": self.throttle_events,
+            "throttle_delay_s": self.throttle_delay_s,
+            "batches_scheduled": self.batches_scheduled,
+            "bytes_scheduled": self.bytes_scheduled,
+            "scheduler_rounds": self.scheduler_rounds,
+            "slo_violations": self.slo_violations,
+        }
+
+
+def serving_stats() -> ServingStats:
+    """The current execution context's serving front-end counters."""
+    from repro.common.context import current_context
+
+    return current_context().serving
+
+
 #: Deprecated: the default context's fault counters (use :func:`fault_stats`).
 FAULTS = FaultStats()
 
@@ -408,6 +468,28 @@ class Percentiles:
     pattern).  Ingesting n samples is O(n) + one O(n log n) sort per
     read burst, instead of the O(n²) the per-sample ``insort`` cost —
     latency trackers record millions of samples and read p50/p99 once.
+
+    Two interpolation rules are supported (``quantile``'s ``method``):
+
+    * ``"linear"`` — the position ``q * (n - 1)`` on the sorted samples,
+      linearly interpolated between the two bracketing samples (NumPy's
+      default, Hyndman-Fan type 7).  Good for central quantiles, but it
+      *underestimates extreme tails on small samples*: with fewer than
+      ``1 / (1 - q)`` samples the position lands strictly inside the
+      last inter-sample gap, so p999 over 10 samples reports a blend of
+      the two largest latencies — a value that never occurred.
+    * ``"exact"`` — the inverse empirical CDF (nearest-rank) rule: the
+      ``ceil(q * n)``-th smallest sample.  Always an observed sample;
+      for ``q > (n - 1) / n`` it is the maximum, which is the honest
+      answer for p999 on small samples.
+
+    ``p50``/``p99`` keep the linear rule (central quantiles, stable
+    under merge splits); ``p999`` uses the exact rule so SLO tail
+    reports never interpolate below the worst observed latency.
+    Merging is sample-exact: folding shard stores together and then
+    taking a quantile equals taking the quantile of all samples at once
+    (both rules) — the merge-then-quantile agreement the sharded SLO
+    tracker relies on.
     """
 
     def __init__(self) -> None:
@@ -437,13 +519,26 @@ class Percentiles:
             self._dirty = False
         return self._samples
 
-    def quantile(self, q: float) -> float:
-        """Exact quantile by linear interpolation; q in [0, 1]."""
+    def quantile(self, q: float, method: str = "linear") -> float:
+        """Quantile of the recorded samples; q in [0, 1].
+
+        ``method="linear"`` interpolates at position ``q * (n - 1)``
+        (type 7); ``method="exact"`` returns the ``ceil(q * n)``-th
+        smallest sample (nearest-rank — always an observed value).  See
+        the class docstring for when each rule is appropriate.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q!r} outside [0, 1]")
         if not self._samples:
             raise ValueError("no samples recorded")
         samples = self._sorted()
+        if method == "exact":
+            rank = math.ceil(q * len(samples))
+            return samples[max(rank, 1) - 1]
+        if method != "linear":
+            raise ValueError(
+                f"method must be 'linear' or 'exact', got {method!r}"
+            )
         if len(samples) == 1:
             return samples[0]
         position = q * (len(samples) - 1)
@@ -459,3 +554,10 @@ class Percentiles:
     @property
     def p99(self) -> float:
         return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        """Tail quantile under the exact nearest-rank rule: on fewer
+        than 1000 samples this is the observed maximum, never an
+        interpolated value below it."""
+        return self.quantile(0.999, method="exact")

@@ -109,6 +109,44 @@ class QuotaExceededError(StreamError):
     """A stream exceeded its configured messages/second quota."""
 
 
+class ServingError(StreamLakeError):
+    """Base class for multi-tenant serving front-end errors."""
+
+
+class UnknownTenantError(ServingError):
+    """A request named a tenant the registry has never seen."""
+
+
+class AdmissionRejectedError(ServingError):
+    """Admission control refused a request outright (no queueing).
+
+    ``reason`` is a short machine-readable tag — ``"in_flight"`` when the
+    tenant's concurrent-request cap is full, ``"queue_depth"`` when the
+    admission queue delay would exceed the controller's bound — so
+    drivers can count rejection causes without parsing messages.
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class BackpressureThrottledError(ServingError):
+    """A produce was refused because the stream's conversion backlog
+    (sealed-slice lag) would exceed the configured high-water mark.
+
+    ``lag_slices`` is the projected backlog, ``high_water_slices`` the
+    bound it would break; callers should run (or wait for) a conversion
+    cycle and retry.
+    """
+
+    def __init__(self, message: str, lag_slices: int = 0,
+                 high_water_slices: int = 0) -> None:
+        super().__init__(message)
+        self.lag_slices = lag_slices
+        self.high_water_slices = high_water_slices
+
+
 class TransactionError(StreamError):
     """A streaming transaction aborted (2PC participant failure)."""
 

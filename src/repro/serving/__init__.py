@@ -1,0 +1,39 @@
+"""Multi-tenant serving front end over the simulated stream lake.
+
+Quotas and admission (:mod:`repro.serving.admission`), deficit-round-
+robin bandwidth arbitration (:mod:`repro.serving.scheduler`), sealed-
+slice-lag backpressure (:mod:`repro.serving.backpressure`) and per-
+tenant SLO tracking (:mod:`repro.serving.slo`), tied together by
+:class:`~repro.serving.frontend.ServingFrontend`.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionTicket
+from repro.serving.backpressure import Backpressure, sealed_lag
+from repro.serving.frontend import ScanResult, ServingFrontend, topic_lags
+from repro.serving.scheduler import (
+    DEFAULT_QUANTUM_BYTES,
+    Dispatch,
+    FairScheduler,
+    ScheduledBatch,
+)
+from repro.serving.slo import SLOTarget, SLOTracker, TenantSLO
+from repro.serving.tenant import TenantQuota, TenantRegistry
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "Backpressure",
+    "DEFAULT_QUANTUM_BYTES",
+    "Dispatch",
+    "FairScheduler",
+    "ScanResult",
+    "ScheduledBatch",
+    "ServingFrontend",
+    "SLOTarget",
+    "SLOTracker",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantSLO",
+    "sealed_lag",
+    "topic_lags",
+]

@@ -1,0 +1,194 @@
+"""Admission control: per-tenant token buckets and in-flight caps.
+
+A request is admitted, queued, or rejected *before* it touches the data
+path, so an over-quota tenant burns no bus bandwidth and no PLog writes
+— the precondition for the isolation result ``bench_serving.py``
+demonstrates.  Three outcomes:
+
+* **admit now** — both token buckets (messages and bytes) cover the
+  request; tokens are debited and a ticket returned with zero delay.
+* **queue** — tokens are short but will accrue within
+  ``max_queue_delay_s``; the bucket is debited into debt and the ticket
+  carries the wait, which the caller adds to the request's latency.
+  This is the lazy-refill equivalent of parking the request until the
+  bucket refills — no event queue needed under the SimClock.
+* **reject** — the wait would exceed the bound
+  (:class:`~repro.errors.QuotaExceededError`) or the tenant's
+  in-flight cap is full
+  (:class:`~repro.errors.AdmissionRejectedError`).
+
+Determinism: outcomes are a pure function of the clock reading and the
+call sequence, so a seeded workload replays to an identical admission
+trace (asserted by the scheduler property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import stats
+from repro.common.clock import SimClock
+from repro.errors import AdmissionRejectedError, QuotaExceededError
+from repro.serving.tenant import TenantQuota, TenantRegistry
+
+
+@dataclass
+class AdmissionTicket:
+    """Proof of admission: carries the wait and the in-flight slot.
+
+    ``outstanding`` counts scheduler batches still pending for this
+    ticket; the front end releases the in-flight slot when it reaches
+    zero (a single produce can fan out to several stream batches).
+    """
+
+    tenant_id: str
+    records: int
+    size_bytes: int
+    #: token-queue wait, charged into the request's latency
+    delay_s: float
+    admitted_at: float
+    outstanding: int = 0
+
+
+@dataclass
+class _BucketPair:
+    """Lazy-refill token buckets (messages + bytes) for one tenant."""
+
+    quota: TenantQuota
+    msg_tokens: float
+    byte_tokens: float
+    last_refill: float
+    in_flight: int = 0
+    #: rejected/admitted bookkeeping for per-tenant reporting
+    admitted: int = 0
+    rejected: int = 0
+    retired: int = field(default=0)
+
+    def refill(self, now: float) -> None:
+        elapsed = now - self.last_refill
+        if elapsed <= 0:
+            return
+        quota = self.quota
+        self.msg_tokens = min(
+            quota.rate_msgs_per_s * quota.burst_s,
+            self.msg_tokens + elapsed * quota.rate_msgs_per_s,
+        )
+        self.byte_tokens = min(
+            quota.rate_bytes_per_s * quota.burst_s,
+            self.byte_tokens + elapsed * quota.rate_bytes_per_s,
+        )
+        self.last_refill = now
+
+    def wait_for(self, records: int, size_bytes: int) -> float:
+        """Seconds until both buckets cover the request (0 if covered)."""
+        quota = self.quota
+        msg_wait = (
+            (records - self.msg_tokens) / quota.rate_msgs_per_s
+            if records > self.msg_tokens else 0.0
+        )
+        byte_wait = (
+            (size_bytes - self.byte_tokens) / quota.rate_bytes_per_s
+            if size_bytes > self.byte_tokens else 0.0
+        )
+        return max(msg_wait, byte_wait)
+
+
+class AdmissionController:
+    """Gatekeeper in front of the scheduler: quota + concurrency caps."""
+
+    def __init__(self, registry: TenantRegistry, clock: SimClock,
+                 max_queue_delay_s: float = 1.0) -> None:
+        if max_queue_delay_s < 0:
+            raise ValueError(
+                f"max_queue_delay_s must be >= 0, got {max_queue_delay_s!r}"
+            )
+        self._registry = registry
+        self._clock = clock
+        self.max_queue_delay_s = max_queue_delay_s
+        self._buckets: dict[str, _BucketPair] = {}
+
+    def _bucket(self, tenant_id: str) -> _BucketPair:
+        bucket = self._buckets.get(tenant_id)
+        if bucket is None:
+            quota = self._registry.get(tenant_id)
+            bucket = self._buckets[tenant_id] = _BucketPair(
+                quota=quota,
+                msg_tokens=quota.rate_msgs_per_s * quota.burst_s,
+                byte_tokens=quota.rate_bytes_per_s * quota.burst_s,
+                last_refill=self._clock.now,
+            )
+        return bucket
+
+    def in_flight(self, tenant_id: str) -> int:
+        bucket = self._buckets.get(tenant_id)
+        return bucket.in_flight if bucket is not None else 0
+
+    def admit(self, tenant_id: str, records: int,
+              size_bytes: int) -> AdmissionTicket:
+        """Admit (possibly queued) or raise; debits tokens on success."""
+        if records < 0 or size_bytes < 0:
+            raise ValueError("records and size_bytes must be >= 0")
+        bucket = self._bucket(tenant_id)
+        serving = stats.serving_stats()
+        if bucket.in_flight >= bucket.quota.max_in_flight:
+            serving.rejected_inflight += 1
+            bucket.rejected += 1
+            raise AdmissionRejectedError(
+                f"tenant {tenant_id!r} has {bucket.in_flight} requests in "
+                f"flight (cap {bucket.quota.max_in_flight})",
+                reason="in_flight",
+            )
+        now = self._clock.now
+        bucket.refill(now)
+        wait = bucket.wait_for(records, size_bytes)
+        if wait > self.max_queue_delay_s:
+            serving.rejected_quota += 1
+            bucket.rejected += 1
+            raise QuotaExceededError(
+                f"tenant {tenant_id!r} over quota: {records} records / "
+                f"{size_bytes} bytes needs {wait:.4f}s of tokens, "
+                f"queue bound {self.max_queue_delay_s:.4f}s"
+            )
+        # debit into debt: the request conceptually parks until the
+        # bucket refills, so tokens go negative by exactly the deficit
+        bucket.msg_tokens -= records
+        bucket.byte_tokens -= size_bytes
+        bucket.in_flight += 1
+        bucket.admitted += 1
+        serving.requests_admitted += 1
+        serving.records_admitted += records
+        serving.bytes_admitted += size_bytes
+        if wait > 0:
+            serving.queued_admissions += 1
+            serving.queue_delay_s += wait
+        return AdmissionTicket(
+            tenant_id=tenant_id,
+            records=records,
+            size_bytes=size_bytes,
+            delay_s=wait,
+            admitted_at=now,
+        )
+
+    def complete(self, ticket: AdmissionTicket) -> None:
+        """Release the ticket's in-flight slot (request finished)."""
+        bucket = self._buckets.get(ticket.tenant_id)
+        if bucket is None or bucket.in_flight <= 0:
+            raise ValueError(
+                f"complete() without a matching admit for "
+                f"{ticket.tenant_id!r}"
+            )
+        bucket.in_flight -= 1
+        bucket.retired += 1
+
+    def tenant_counts(self, tenant_id: str) -> dict[str, int]:
+        """(admitted, rejected, in_flight, retired) for one tenant."""
+        bucket = self._buckets.get(tenant_id)
+        if bucket is None:
+            return {"admitted": 0, "rejected": 0, "in_flight": 0,
+                    "retired": 0}
+        return {
+            "admitted": bucket.admitted,
+            "rejected": bucket.rejected,
+            "in_flight": bucket.in_flight,
+            "retired": bucket.retired,
+        }

@@ -1,0 +1,135 @@
+"""Per-tenant SLO tracking: tail-latency histograms and violation counts.
+
+The generative performance-modeling line of work (PAPERS.md) makes the
+case that storage simulations stay predictive only if they track full
+latency *distributions*, not means — a mean hides exactly the p999
+blow-up a misbehaving tenant inflicts on its neighbours.  The tracker
+therefore keeps one :class:`~repro.common.stats.Percentiles` store per
+tenant and path (produce / scan), reports p50 with linear interpolation
+and p99/p999 with the exact nearest-rank rule (see the ``Percentiles``
+docstring for why tails must not interpolate), and counts samples that
+break the tenant's declared targets.
+
+Everything merges: per-tenant sample stores and counters fold additively
+(:meth:`SLOTracker.merge`), and the violation/throttle/rejection totals
+also land in :class:`~repro.common.stats.ServingStats` on the active
+execution context — so a sharded run's merged tracker and merged context
+are value-identical to a serial run over the same requests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common import stats
+from repro.common.stats import Percentiles
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Declared latency objectives for one tenant (seconds).
+
+    ``math.inf`` disables a bound.  Violations are counted per *sample*
+    (each request over the bound is one violation), which keeps the
+    counter additive under shard merges — a quantile-based definition
+    would not merge.
+    """
+
+    produce_p99_s: float = math.inf
+    scan_p99_s: float = math.inf
+
+
+@dataclass
+class TenantSLO:
+    """One tenant's recorded latency distributions and counters."""
+
+    produce_latency: Percentiles = field(default_factory=Percentiles)
+    scan_latency: Percentiles = field(default_factory=Percentiles)
+    admitted: int = 0
+    rejected: int = 0
+    throttled: int = 0
+    violations: int = 0
+
+    def merge(self, other: "TenantSLO") -> None:
+        self.produce_latency.merge(other.produce_latency)
+        self.scan_latency.merge(other.scan_latency)
+        self.admitted += other.admitted
+        self.rejected += other.rejected
+        self.throttled += other.throttled
+        self.violations += other.violations
+
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "throttled": self.throttled,
+            "violations": self.violations,
+        }
+        for name, store in (("produce", self.produce_latency),
+                            ("scan", self.scan_latency)):
+            if len(store):
+                out[f"{name}_p50_s"] = store.p50
+                out[f"{name}_p99_s"] = store.quantile(0.99, method="exact")
+                out[f"{name}_p999_s"] = store.p999
+                out[f"{name}_samples"] = len(store)
+        return out
+
+
+class SLOTracker:
+    """Registry of per-tenant SLO state with shard-merge algebra."""
+
+    def __init__(self,
+                 targets: dict[str, SLOTarget] | None = None) -> None:
+        self._targets = dict(targets) if targets is not None else {}
+        self._tenants: dict[str, TenantSLO] = {}
+
+    def set_target(self, tenant_id: str, target: SLOTarget) -> None:
+        self._targets[tenant_id] = target
+
+    def target_of(self, tenant_id: str) -> SLOTarget:
+        return self._targets.get(tenant_id, SLOTarget())
+
+    def tenant(self, tenant_id: str) -> TenantSLO:
+        record = self._tenants.get(tenant_id)
+        if record is None:
+            record = self._tenants[tenant_id] = TenantSLO()
+        return record
+
+    # --- recording ----------------------------------------------------------
+
+    def record_produce(self, tenant_id: str, latency_s: float) -> None:
+        record = self.tenant(tenant_id)
+        record.produce_latency.add(latency_s)
+        record.admitted += 1
+        if latency_s > self.target_of(tenant_id).produce_p99_s:
+            record.violations += 1
+            stats.serving_stats().slo_violations += 1
+
+    def record_scan(self, tenant_id: str, latency_s: float) -> None:
+        record = self.tenant(tenant_id)
+        record.scan_latency.add(latency_s)
+        record.admitted += 1
+        if latency_s > self.target_of(tenant_id).scan_p99_s:
+            record.violations += 1
+            stats.serving_stats().slo_violations += 1
+
+    def record_rejection(self, tenant_id: str) -> None:
+        self.tenant(tenant_id).rejected += 1
+
+    def record_throttle(self, tenant_id: str) -> None:
+        self.tenant(tenant_id).throttled += 1
+
+    # --- reunion ------------------------------------------------------------
+
+    def merge(self, other: "SLOTracker") -> None:
+        """Fold another tracker's tenants in (sharded-run reunion)."""
+        for tenant_id, record in other._tenants.items():
+            self.tenant(tenant_id).merge(record)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-tenant report, sorted by tenant id (deterministic)."""
+        return {
+            tenant_id: self._tenants[tenant_id].snapshot()
+            for tenant_id in sorted(self._tenants)
+        }

@@ -86,6 +86,14 @@ class StreamTableConverter:
 
     # --- stream -> table -----------------------------------------------------
 
+    def positions(self) -> dict[str, int]:
+        """Per-stream converted-up-to offsets (the conversion frontier).
+
+        The serving front end's backpressure signal is the sealed-slice
+        lag between each stream object's tail and this frontier.
+        """
+        return dict(self._positions)
+
     def pending_messages(self) -> int:
         """Messages accumulated since the last conversion."""
         total = 0

@@ -1,16 +1,25 @@
 """Workload generators: DPI packets, TPC-H, OpenMessaging-style driver."""
 
-from repro.workloads.packets import PacketGenerator, PACKET_NOMINAL_BYTES
+from repro.workloads.packets import (PacketGenerator, PACKET_NOMINAL_BYTES,
+    tenant_of)
 from repro.workloads.tpch import (TPCHGenerator, generate_join_workload,
     generate_query_workload)
-from repro.workloads.openmessaging import OpenMessagingDriver, DriverReport
+from repro.workloads.openmessaging import (DriverReport,
+    MultiTenantOpenMessagingDriver, MultiTenantReport, OpenMessagingDriver,
+    TenantLoad, TenantOutcome, zipf_rates)
 
 __all__ = [
     "PacketGenerator",
     "PACKET_NOMINAL_BYTES",
+    "tenant_of",
     "TPCHGenerator",
     "generate_join_workload",
     "generate_query_workload",
     "OpenMessagingDriver",
     "DriverReport",
+    "MultiTenantOpenMessagingDriver",
+    "MultiTenantReport",
+    "TenantLoad",
+    "TenantOutcome",
+    "zipf_rates",
 ]

@@ -13,12 +13,34 @@ thin Kafka adapter satisfy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.stats import Percentiles
+from repro.errors import (
+    AdmissionRejectedError,
+    BackpressureThrottledError,
+    QuotaExceededError,
+)
 from repro.stream.records import MessageRecord
 
 MESSAGE_BYTES = 1024
+
+
+def zipf_rates(num_tenants: int, total_rate: float,
+               s: float = 1.2) -> list[float]:
+    """Zipf-skewed per-tenant rates summing to ``total_rate``.
+
+    Tenant ``i`` gets weight ``1 / (i + 1) ** s`` — the head tenant
+    dominates, the tail is long, which is the multi-tenant shape the
+    serving benchmarks assume (a few heavy producers, many light ones).
+    """
+    if num_tenants < 1:
+        raise ValueError("need at least one tenant")
+    if total_rate <= 0:
+        raise ValueError("total_rate must be positive")
+    weights = [1.0 / (index + 1) ** s for index in range(num_tenants)]
+    scale = total_rate / sum(weights)
+    return [weight * scale for weight in weights]
 
 
 @dataclass
@@ -92,4 +114,169 @@ class OpenMessagingDriver:
             p50_latency_s=latencies.p50,
             p99_latency_s=latencies.p99,
             sim_seconds=finish_time,
+        )
+
+
+@dataclass
+class TenantLoad:
+    """One tenant's offered load in a multi-tenant run."""
+
+    tenant_id: str
+    #: offered arrival rate (may exceed the tenant's registered quota —
+    #: that is how the benchmarks model an abuser)
+    rate_msgs_per_s: float
+    messages: int
+
+
+@dataclass
+class TenantOutcome:
+    """What one tenant actually got: admitted, shed, and tail latency."""
+
+    tenant_id: str
+    offered: int = 0
+    sent: int = 0
+    rejected_quota: int = 0
+    rejected_inflight: int = 0
+    throttled: int = 0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    p999_latency_s: float = 0.0
+
+
+@dataclass
+class MultiTenantReport:
+    """Outcome of one closed-loop multi-tenant run."""
+
+    messages_sent: int
+    messages_shed: int
+    sim_seconds: float
+    achieved_throughput: float
+    rounds: int
+    tenants: dict[str, TenantOutcome] = field(default_factory=dict)
+    #: dispatch-order fingerprint for deterministic-replay assertions
+    trace_length: int = 0
+
+
+class MultiTenantOpenMessagingDriver:
+    """Closed-loop multi-tenant driver over a :class:`ServingFrontend`.
+
+    Unlike :class:`OpenMessagingDriver` (open loop: arrivals ignore the
+    system), this driver is *completion paced*: each round submits every
+    tenant's share of arrivals, then blocks on the front end's DRR drain
+    — the next round's arrivals cannot start before the previous round's
+    dispatches complete, which is how a closed system (bounded client
+    concurrency) behaves.  Round wall time is ``max(busy period,
+    arrivals / aggregate offered rate)``, so token buckets refill at the
+    configured rates and an over-quota tenant sees real rejections
+    instead of an ever-emptier bucket.
+
+    Rejected or throttled requests are *shed* (counted, not retried),
+    matching a loss system; per-tenant outcomes separate quota
+    rejections, in-flight rejections and backpressure throttles.  All
+    arrivals, keys and payloads are a pure function of (loads, seed), so
+    a rerun yields a byte-identical scheduler trace.
+    """
+
+    def __init__(self, frontend, topic: str, loads: list[TenantLoad],
+                 batch_size: int = 200,
+                 message_bytes: int = MESSAGE_BYTES,
+                 round_seconds: float = 0.25,
+                 convert_each_round=None) -> None:
+        if not loads:
+            raise ValueError("need at least one tenant load")
+        if round_seconds <= 0:
+            raise ValueError("round_seconds must be positive")
+        self.frontend = frontend
+        self.topic = topic
+        self.loads = list(loads)
+        self.batch_size = batch_size
+        self.message_bytes = message_bytes
+        self.round_seconds = round_seconds
+        #: optional callable run after each round's drain (conversion
+        #: cycle + backpressure refresh in the reunion benchmarks)
+        self.convert_each_round = convert_each_round
+
+    def run(self) -> MultiTenantReport:
+        frontend = self.frontend
+        clock = frontend.clock
+        payload = b"m" * max(1, self.message_bytes - 64)
+        total_rate = sum(load.rate_msgs_per_s for load in self.loads)
+        outcomes = {
+            load.tenant_id: TenantOutcome(tenant_id=load.tenant_id)
+            for load in self.loads
+        }
+        remaining = {
+            load.tenant_id: load.messages for load in self.loads
+        }
+        request_index = {load.tenant_id: 0 for load in self.loads}
+        rounds = 0
+        started_at = clock.now
+        while any(count > 0 for count in remaining.values()):
+            round_start = clock.now
+            arrivals = 0
+            for load in self.loads:
+                tenant_id = load.tenant_id
+                quota_msgs = load.rate_msgs_per_s * self.round_seconds
+                offer = min(remaining[tenant_id],
+                            max(self.batch_size, int(quota_msgs)))
+                outcome = outcomes[tenant_id]
+                while offer > 0:
+                    count = min(self.batch_size, offer)
+                    offer -= count
+                    remaining[tenant_id] -= count
+                    outcome.offered += count
+                    arrivals += count
+                    # one key per request: the hash spreads requests
+                    # across the topic's streams, and the whole request
+                    # stays a single packed batch
+                    key = f"{tenant_id}/{request_index[tenant_id]}"
+                    request_index[tenant_id] += 1
+                    try:
+                        frontend.produce(
+                            tenant_id, self.topic, [payload] * count,
+                            keys=[key] * count,
+                            batch_size=self.batch_size,
+                        )
+                        outcome.sent += count
+                    except QuotaExceededError:
+                        outcome.rejected_quota += count
+                    except AdmissionRejectedError:
+                        outcome.rejected_inflight += count
+                    except BackpressureThrottledError:
+                        outcome.throttled += count
+            dispatches = frontend.drain()
+            busy_end = (
+                dispatches[-1].completed_at if dispatches else clock.now
+            )
+            # the round lasts at least arrivals / offered-rate: buckets
+            # refill at the configured rates even when service is fast
+            clock.advance_to(
+                max(busy_end, round_start + arrivals / total_rate)
+            )
+            if self.convert_each_round is not None:
+                self.convert_each_round()
+            rounds += 1
+        sim_seconds = clock.now - started_at
+        sent = 0
+        shed = 0
+        for outcome in outcomes.values():
+            sent += outcome.sent
+            shed += (outcome.rejected_quota + outcome.rejected_inflight
+                     + outcome.throttled)
+            record = frontend.slo.tenant(outcome.tenant_id)
+            store = record.produce_latency
+            if len(store):
+                outcome.p50_latency_s = store.p50
+                outcome.p99_latency_s = store.quantile(0.99, method="exact")
+                outcome.p999_latency_s = store.p999
+        return MultiTenantReport(
+            messages_sent=sent,
+            messages_shed=shed,
+            sim_seconds=sim_seconds,
+            achieved_throughput=(
+                sent / sim_seconds if sim_seconds > 0 else 0.0
+            ),
+            rounds=rounds,
+            tenants=outcomes,
+            trace_length=len(frontend.scheduler.trace),
         )

@@ -54,6 +54,15 @@ class PacketConfig:
     #: dirty/unlabeled packets cluster into this fraction of the hours
     cluster_fraction: float = 0.25
     seed: int = 7
+    #: when > 0, every packet carries a ``tenant`` column (the serving
+    #: front end's multi-tenant drivers reconcile per-tenant counts
+    #: end-to-end); 0 keeps the original single-tenant shape
+    tenants: int = 0
+
+
+def tenant_of(user_id: int, tenants: int) -> str:
+    """Deterministic user -> tenant assignment (stable across stages)."""
+    return f"tenant_{user_id % tenants:02d}"
 
 
 class PacketGenerator:
@@ -78,6 +87,13 @@ class PacketGenerator:
         cluster_size = max(1, int(config.hours * config.cluster_fraction))
         self._hot_hours = set(int(h) for h in hours[:cluster_size])
 
+    def schema(self) -> dict[str, str]:
+        """The row schema, including ``tenant`` when tagging is on."""
+        schema = dict(self.SCHEMA)
+        if self.config.tenants > 0:
+            schema["tenant"] = "string"
+        return schema
+
     def rows(self) -> Iterator[dict[str, object]]:
         """Yield packet rows (the post-parse shape inserted into tables)."""
         config = self.config
@@ -98,18 +114,22 @@ class PacketGenerator:
                 )
             )
             url = _URLS[int(rng.integers(0, len(_URLS)))]
-            yield {
+            user_id = int(rng.integers(0, 1_000_000))
+            row = {
                 "url": url,
                 "start_time": BASE_TIMESTAMP
                 + hour * 3600
                 + int(rng.integers(0, 3600)),
                 "province": PROVINCES[int(rng.integers(0, len(PROVINCES)))],
-                "user_id": int(rng.integers(0, 1_000_000)),
+                "user_id": user_id,
                 "bytes_up": int(rng.integers(100, 100_000)),
                 "bytes_down": int(rng.integers(100, 1_000_000)),
                 "app_label": "" if unlabeled else url.split("//")[1].split(".")[0],
                 "dirty": dirty,
             }
+            if config.tenants > 0:
+                row["tenant"] = tenant_of(user_id, config.tenants)
+            yield row
 
     def messages(self) -> Iterator[tuple[str, bytes]]:
         """Yield (key, json value) pairs for the streaming ingest path."""

@@ -161,3 +161,94 @@ def test_percentiles_extend_and_merge_match_adds():
     bulk.merge(other)
     for q in (0.0, 0.25, 0.5, 0.75, 1.0):
         assert bulk.quantile(q) == loop.quantile(q)
+
+
+# --- exact (nearest-rank) tail quantiles ------------------------------------
+
+
+def test_exact_quantile_is_nearest_rank():
+    samples = Percentiles()
+    samples.extend([10.0, 20.0, 30.0, 40.0, 50.0])
+    # ceil(q * n)-th smallest sample
+    assert samples.quantile(0.2, method="exact") == 10.0
+    assert samples.quantile(0.21, method="exact") == 20.0
+    assert samples.quantile(0.5, method="exact") == 30.0
+    assert samples.quantile(0.99, method="exact") == 50.0
+    assert samples.quantile(0.0, method="exact") == 10.0
+    assert samples.quantile(1.0, method="exact") == 50.0
+
+
+def test_p999_on_small_sample_is_the_maximum():
+    """The linear rule blends the top two samples below n = 1000; the
+    exact rule must report the worst observed latency instead."""
+    samples = Percentiles()
+    samples.extend([0.001] * 9 + [5.0])
+    assert samples.quantile(0.999) < 5.0  # linear interpolates: a value
+    assert samples.p999 == 5.0            # that never occurred; exact not
+
+
+def test_p999_with_enough_samples_matches_rank():
+    samples = Percentiles()
+    samples.extend(float(i) for i in range(1, 2001))
+    # ceil(0.999 * 2000) = 1998th smallest
+    assert samples.p999 == 1998.0
+
+
+def test_exact_quantile_always_an_observed_sample():
+    samples = Percentiles()
+    values = [3.7, 1.2, 9.9, 0.4, 5.5, 2.2, 8.8]
+    samples.extend(values)
+    for q in (0.01, 0.25, 0.5, 0.9, 0.99, 0.999):
+        assert samples.quantile(q, method="exact") in values
+
+
+def test_quantile_rejects_unknown_method():
+    samples = Percentiles()
+    samples.add(1.0)
+    with pytest.raises(ValueError):
+        samples.quantile(0.5, method="cubic")
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=80),
+    st.lists(finite_floats, min_size=0, max_size=80),
+)
+def test_merge_then_quantile_equals_quantile_of_union(left, right):
+    """Folding shard stores then querying == querying the union —
+    for both interpolation rules (the sharded SLO tracker's algebra)."""
+    union = Percentiles()
+    union.extend(left + right)
+    merged = Percentiles()
+    shard_a, shard_b = Percentiles(), Percentiles()
+    shard_a.extend(left)
+    shard_b.extend(right)
+    merged.merge(shard_a)
+    merged.merge(shard_b)
+    for q in (0.0, 0.5, 0.99, 0.999, 1.0):
+        for method in ("linear", "exact"):
+            assert merged.quantile(q, method=method) == \
+                union.quantile(q, method=method)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=120))
+def test_quantile_then_merge_disagrees_only_by_split(values):
+    """Quantile-then-merge (averaging shard quantiles) is NOT the union
+    quantile in general — the exact rule on the merged store brackets
+    any per-shard exact quantile between the global min and max."""
+    store = Percentiles()
+    store.extend(values)
+    tail = store.quantile(0.999, method="exact")
+    assert min(values) <= tail <= max(values)
+    assert tail == store.p999
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100))
+def test_exact_monotone_and_bounded_by_linear_at_tail(values):
+    samples = Percentiles()
+    samples.extend(values)
+    qs = [samples.quantile(q / 20, method="exact") for q in range(21)]
+    assert qs == sorted(qs)
+    # at the extreme tail, exact >= linear (linear interpolates downward
+    # inside the last gap; exact snaps to an observed sample)
+    assert samples.quantile(0.999, method="exact") >= \
+        samples.quantile(0.999, method="linear")

@@ -1,0 +1,32 @@
+"""Fixtures for the serving front-end tests: registries and frontends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import ServingFrontend, TenantQuota, TenantRegistry
+from repro.stream.config import TopicConfig
+from repro.stream.service import MessageStreamingService
+
+
+@pytest.fixture
+def registry() -> TenantRegistry:
+    """Two tenants with generous-but-finite quotas, 2:1 weighted."""
+    reg = TenantRegistry()
+    reg.register("alpha", TenantQuota(
+        rate_msgs_per_s=10_000.0, rate_bytes_per_s=20_000_000.0,
+        max_in_flight=8, weight=2, burst_s=1.0,
+    ))
+    reg.register("beta", TenantQuota(
+        rate_msgs_per_s=10_000.0, rate_bytes_per_s=20_000_000.0,
+        max_in_flight=8, weight=1, burst_s=1.0,
+    ))
+    return reg
+
+
+@pytest.fixture
+def frontend(service: MessageStreamingService,
+             registry: TenantRegistry) -> ServingFrontend:
+    """A frontend over the shared service with a 4-stream topic."""
+    service.create_topic("orders", TopicConfig(stream_num=4))
+    return ServingFrontend(service, registry)

@@ -1,0 +1,190 @@
+"""Tenant registry and admission control: quotas, queueing, rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import stats
+from repro.common.clock import SimClock
+from repro.common.context import ExecutionContext, use_context
+from repro.errors import (
+    AdmissionRejectedError,
+    ConfigError,
+    QuotaExceededError,
+    UnknownTenantError,
+)
+from repro.serving import AdmissionController, TenantQuota, TenantRegistry
+
+
+def make_registry(**overrides) -> TenantRegistry:
+    quota = {
+        "rate_msgs_per_s": 1000.0, "rate_bytes_per_s": 1_000_000.0,
+        "max_in_flight": 2, "burst_s": 1.0,
+    }
+    quota.update(overrides)
+    reg = TenantRegistry()
+    reg.register("t", TenantQuota(**quota))
+    return reg
+
+
+# --- registry ----------------------------------------------------------------
+
+
+def test_duplicate_registration_rejected():
+    reg = make_registry()
+    with pytest.raises(ConfigError):
+        reg.register("t", TenantQuota())
+
+
+def test_unknown_tenant_raises():
+    with pytest.raises(UnknownTenantError):
+        make_registry().get("ghost")
+
+
+@pytest.mark.parametrize("bad", [
+    {"rate_msgs_per_s": 0.0},
+    {"rate_bytes_per_s": -1.0},
+    {"max_in_flight": 0},
+    {"weight": 0},
+    {"burst_s": 0.0},
+])
+def test_invalid_quota_rejected(bad):
+    with pytest.raises(ConfigError):
+        TenantQuota(**bad).validate()
+
+
+def test_registry_iteration_is_sorted():
+    reg = TenantRegistry()
+    for name in ("zeta", "alpha", "mid"):
+        reg.register(name, TenantQuota())
+    assert reg.tenants() == ["alpha", "mid", "zeta"]
+
+
+# --- admission outcomes ------------------------------------------------------
+
+
+def test_admit_within_burst_has_zero_delay():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock)
+    ticket = ctl.admit("t", 100, 10_000)
+    assert ticket.delay_s == 0.0
+    assert ticket.tenant_id == "t"
+    ctl.complete(ticket)
+
+
+def test_queued_admission_carries_the_refill_wait():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock, max_queue_delay_s=2.0)
+    first = ctl.admit("t", 1000, 0)       # drains the message burst
+    queued = ctl.admit("t", 500, 0)       # 500 tokens short at 1000/s
+    assert queued.delay_s == pytest.approx(0.5)
+    ctl.complete(first)
+    ctl.complete(queued)
+
+
+def test_over_quota_rejected_with_typed_error():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock, max_queue_delay_s=0.5)
+    ctl.admit("t", 1000, 0)
+    with pytest.raises(QuotaExceededError):
+        ctl.admit("t", 1000, 0)           # needs 1 s of tokens, bound 0.5
+    assert stats.serving_stats().rejected_quota >= 1
+
+
+def test_byte_bucket_enforced_independently():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock, max_queue_delay_s=0.1)
+    with pytest.raises(QuotaExceededError):
+        ctl.admit("t", 1, 10_000_000)     # 10x the byte burst
+
+
+def test_in_flight_cap_rejects_with_reason():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock)
+    tickets = [ctl.admit("t", 1, 1), ctl.admit("t", 1, 1)]
+    with pytest.raises(AdmissionRejectedError) as err:
+        ctl.admit("t", 1, 1)
+    assert err.value.reason == "in_flight"
+    assert stats.serving_stats().rejected_inflight >= 1
+    ctl.complete(tickets[0])
+    ctl.complete(ctl.admit("t", 1, 1))    # slot freed: admitted again
+    ctl.complete(tickets[1])
+
+
+def test_tokens_refill_with_the_clock():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock, max_queue_delay_s=0.0)
+    ctl.admit("t", 1000, 0)
+    with pytest.raises(QuotaExceededError):
+        ctl.admit("t", 100, 0)
+    clock.advance(0.2)                    # 200 message tokens back
+    ticket = ctl.admit("t", 100, 0)
+    assert ticket.delay_s == 0.0
+
+
+def test_refill_caps_at_burst():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock, max_queue_delay_s=0.0)
+    clock.advance(100.0)                  # a long idle gap
+    ctl.admit("t", 1000, 0)               # exactly one burst available
+    with pytest.raises(QuotaExceededError):
+        ctl.admit("t", 1, 0)
+
+
+def test_complete_without_admit_raises():
+    clock = SimClock()
+    ctl = AdmissionController(make_registry(), clock)
+    ticket = ctl.admit("t", 1, 1)
+    ctl.complete(ticket)
+    with pytest.raises(ValueError):
+        ctl.complete(ticket)
+
+
+def test_counters_track_every_outcome():
+    context = ExecutionContext(name="admission-counters")
+    with use_context(context):
+        clock = SimClock()
+        ctl = AdmissionController(make_registry(max_in_flight=8), clock,
+                                  max_queue_delay_s=0.2)
+        ctl.admit("t", 500, 1000)
+        ctl.admit("t", 600, 0)            # queued: 100 tokens short
+        with pytest.raises(QuotaExceededError):
+            ctl.admit("t", 1000, 0)
+        serving = stats.serving_stats()
+        assert serving.requests_admitted == 2
+        assert serving.records_admitted == 1100
+        assert serving.bytes_admitted == 1000
+        assert serving.queued_admissions == 1
+        assert serving.queue_delay_s == pytest.approx(0.1)
+        assert serving.rejected_quota == 1
+    counts = ctl.tenant_counts("t")
+    assert counts["admitted"] == 2 and counts["rejected"] == 1
+    assert counts["in_flight"] == 2
+
+
+def test_admission_trace_is_deterministic():
+    """The same call sequence in fresh contexts yields identical
+    outcomes and identical counter snapshots (seeded replay)."""
+
+    def run():
+        context = ExecutionContext(name="replay")
+        with use_context(context):
+            clock = SimClock()
+            ctl = AdmissionController(make_registry(), clock,
+                                      max_queue_delay_s=0.3)
+            outcomes = []
+            for step in range(40):
+                records = 97 * (step % 5 + 1)
+                try:
+                    ticket = ctl.admit("t", records, records * 64)
+                    outcomes.append(("ok", round(ticket.delay_s, 9)))
+                    ctl.complete(ticket)
+                except QuotaExceededError:
+                    outcomes.append(("quota", None))
+                    clock.advance(0.05)
+            return outcomes, stats.serving_stats().snapshot()
+
+    first, second = run(), run()
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert any(kind == "quota" for kind, _ in first[0])

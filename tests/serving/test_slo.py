@@ -1,0 +1,120 @@
+"""SLO tracker: targets, violation counting, and the merge algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import stats
+from repro.common.context import ExecutionContext, use_context
+from repro.serving import SLOTarget, SLOTracker
+
+
+def test_violations_counted_per_sample():
+    context = ExecutionContext(name="slo-violations")
+    with use_context(context):
+        tracker = SLOTracker()
+        tracker.set_target("t", SLOTarget(produce_p99_s=0.010))
+        for latency in (0.001, 0.005, 0.020, 0.500):
+            tracker.record_produce("t", latency)
+        record = tracker.tenant("t")
+        assert record.violations == 2
+        assert record.admitted == 4
+        assert stats.serving_stats().slo_violations == 2
+
+
+def test_no_target_means_no_violations():
+    tracker = SLOTracker()
+    tracker.record_produce("t", 1e9)
+    assert tracker.tenant("t").violations == 0
+
+
+def test_scan_target_independent_of_produce_target():
+    tracker = SLOTracker()
+    tracker.set_target("t", SLOTarget(produce_p99_s=0.010,
+                                      scan_p99_s=1.0))
+    tracker.record_scan("t", 0.5)         # within the scan bound
+    tracker.record_produce("t", 0.5)      # breaks the produce bound
+    assert tracker.tenant("t").violations == 1
+
+
+def test_snapshot_reports_exact_tails():
+    tracker = SLOTracker()
+    for latency in [0.001] * 9 + [3.0]:
+        tracker.record_produce("t", latency)
+    snap = tracker.snapshot()["t"]
+    assert snap["produce_p999_s"] == 3.0  # exact rule: worst observed
+    assert snap["produce_samples"] == 10
+    assert "scan_p50_s" not in snap       # no scan samples recorded
+
+
+def test_rejections_and_throttles_tracked():
+    tracker = SLOTracker()
+    tracker.record_rejection("t")
+    tracker.record_rejection("t")
+    tracker.record_throttle("t")
+    snap = tracker.snapshot()["t"]
+    assert snap["rejected"] == 2 and snap["throttled"] == 1
+
+
+def test_merge_equals_serial_recording():
+    """Two shard trackers merged report exactly what one tracker fed
+    the union would — distributions, counters and violations."""
+    target = SLOTarget(produce_p99_s=0.010, scan_p99_s=0.050)
+    latencies_a = [0.001, 0.020, 0.004, 0.100]
+    latencies_b = [0.002, 0.050, 0.003]
+
+    serial = SLOTracker({"t": target})
+    for latency in latencies_a + latencies_b:
+        serial.record_produce("t", latency)
+    serial.record_rejection("t")
+
+    shard_a = SLOTracker({"t": target})
+    for latency in latencies_a:
+        shard_a.record_produce("t", latency)
+    shard_a.record_rejection("t")
+    shard_b = SLOTracker({"t": target})
+    for latency in latencies_b:
+        shard_b.record_produce("t", latency)
+
+    merged = SLOTracker({"t": target})
+    merged.merge(shard_a)
+    merged.merge(shard_b)
+    assert merged.snapshot() == serial.snapshot()
+
+
+def test_merge_is_order_insensitive():
+    shard_a, shard_b = SLOTracker(), SLOTracker()
+    shard_a.record_produce("x", 0.5)
+    shard_b.record_produce("x", 0.7)
+    shard_b.record_scan("y", 0.1)
+    ab, ba = SLOTracker(), SLOTracker()
+    ab.merge(shard_a)
+    ab.merge(shard_b)
+    ba.merge(shard_b)
+    ba.merge(shard_a)
+    assert ab.snapshot() == ba.snapshot()
+
+
+def test_snapshot_sorted_by_tenant():
+    tracker = SLOTracker()
+    for tenant in ("zeta", "alpha", "mid"):
+        tracker.record_produce(tenant, 0.001)
+    assert list(tracker.snapshot()) == ["alpha", "mid", "zeta"]
+
+
+def test_infinite_default_target_never_violates():
+    tracker = SLOTracker()
+    assert tracker.target_of("anyone").produce_p99_s == float("inf")
+    tracker.record_produce("anyone", float("inf"))
+    assert tracker.tenant("anyone").violations == 0
+
+
+def test_tracked_percentiles_match_percentile_store():
+    tracker = SLOTracker()
+    values = [0.001 * i for i in range(1, 101)]
+    for value in values:
+        tracker.record_produce("t", value)
+    snap = tracker.snapshot()["t"]
+    assert snap["produce_p50_s"] == pytest.approx(0.0505)
+    assert snap["produce_p99_s"] == values[98]   # exact nearest-rank
+    assert snap["produce_p999_s"] == values[99]
