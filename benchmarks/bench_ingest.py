@@ -147,7 +147,15 @@ def run_ingest_bench(num_records: int = NUM_RECORDS,
                                / legacy["end_to_end_records_per_s"]),
     }
     if result_path is not None:
-        result_path.write_text(json.dumps(results, indent=2) + "\n")
+        # merge: bench_ingest_shard.py owns the "sharded_ingest" section
+        # of the same file; a rerun here must not clobber it
+        merged = {}
+        if result_path.exists():
+            previous = json.loads(result_path.read_text())
+            if "sharded_ingest" in previous:
+                merged["sharded_ingest"] = previous["sharded_ingest"]
+        merged.update(results)
+        result_path.write_text(json.dumps(merged, indent=2) + "\n")
 
     table = ResultTable(
         f"Ingestion path: {num_records:,} records x {VALUE_BYTES} B",
@@ -187,7 +195,10 @@ def test_ingest_batched(benchmark) -> None:
 
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
-    outcome = run_ingest_bench(num_records=10_000 if smoke else NUM_RECORDS)
+    outcome = run_ingest_bench(
+        num_records=10_000 if smoke else NUM_RECORDS,
+        result_path=None if smoke else RESULT_PATH,
+    )
     floor = 4.0 if smoke else MIN_INGEST_SPEEDUP
     if outcome["speedup_ingest"] < floor:
         raise SystemExit(

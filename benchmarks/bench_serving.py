@@ -71,6 +71,13 @@ IDENTITY_TENANTS_PER_SHARD = 3
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
 
+#: every stack commits sealed slice groups through the sharded
+#: committer this wide (uniform across scheduled/unscheduled/identity
+#: variants, so latency comparisons stay apples-to-apples); serial pool
+#: mode keeps runs deterministic on any core count
+WRITE_PARALLELISM = 4
+
+
 def _build_frontend(topic: str, stream_num: int,
                     quotas: dict[str, TenantQuota]):
     """A fresh service stack with one topic and a serving front end."""
@@ -85,7 +92,9 @@ def _build_frontend(topic: str, stream_num: int,
     registry = TenantRegistry()
     for tenant_id, quota in quotas.items():
         registry.register(tenant_id, quota)
-    return service, ServingFrontend(service, registry)
+    frontend = ServingFrontend(service, registry)
+    frontend.configure_write_parallelism(WRITE_PARALLELISM, mode="serial")
+    return service, frontend
 
 
 def calibrate_capacity(batch_size: int = BATCH_SIZE) -> float:
@@ -393,6 +402,7 @@ def run_serving_bench(num_tenants: int = NUM_TENANTS,
         "stream_num": stream_num,
         "batch_size": batch_size,
         "message_bytes": MESSAGE_BYTES,
+        "write_parallelism": WRITE_PARALLELISM,
         "abuser_factor": ABUSER_FACTOR,
         "duration_sim_s": duration_s,
         "offered_records_shared": shared["offered"],

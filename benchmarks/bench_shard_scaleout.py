@@ -3,9 +3,9 @@
 The sharded data plane (:mod:`repro.parallel`) partitions a scan's
 surviving data files over workers by the DHT shard namespace, runs each
 shard under a forked execution context, and reunites per-shard
-aggregate partials into the serial answer.  This bench drives a ≥1M-row
-GROUP BY COUNT/SUM/AVG through that path at increasing worker counts
-and records three things per point:
+aggregate partials into the serial answer.  This bench drives a
+≥10M-row GROUP BY COUNT/SUM/AVG through that path at increasing worker
+counts and records three things per point:
 
 * **measured per-shard wall cost** — every shard task's compute is
   timed individually (tasks run back-to-back in serial mode, so each
@@ -48,8 +48,8 @@ from repro.table.pushdown import AggregateSpec
 from repro.table.schema import Column, ColumnType, PartitionSpec, Schema
 from repro.table.table import Lakehouse, QueryStats
 
-NUM_FILES = 128
-ROWS_PER_FILE = 8_192  # 128 x 8192 = 1,048,576 rows
+NUM_FILES = 1_280
+ROWS_PER_FILE = 8_192  # 1280 x 8192 = 10,485,760 rows
 WORKER_COUNTS = [1, 2, 4, 8]
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_shard.json"
 
@@ -124,8 +124,19 @@ def run_shard_bench(num_files: int = NUM_FILES,
     with use_context(context):
         table = _build_table(context, num_files, rows_per_file)
 
+        # Every run (oracle and each width) starts cold: the block and
+        # footer tiers otherwise serve every post-oracle run for free —
+        # zero pool reads, zero sim read cost — and a sim "speedup"
+        # between two zero-cost runs is meaningless (0/0).  Cold runs
+        # charge the same per-file read costs at every width, so the
+        # sim ratio is pure write-wave scheduler math.
+        def _cold() -> None:
+            table.cache_hierarchy.clear()
+            context.chunk_cache = None
+
         # serial oracle: rows, counters and wall time to beat
         oracle_stats = QueryStats()
+        _cold()
         started = time.perf_counter()
         oracle_rows = table.select(
             predicate=PREDICATE, aggregate=SPECS, stats=oracle_stats
@@ -135,6 +146,7 @@ def run_shard_bench(num_files: int = NUM_FILES,
         points = []
         for workers in worker_counts:
             stats = QueryStats()
+            _cold()
             started = time.perf_counter()
             result = sharded_select(
                 table, predicate=PREDICATE, aggregate=SPECS,
@@ -168,6 +180,7 @@ def run_shard_bench(num_files: int = NUM_FILES,
             })
 
         # honesty check: what a thread pool achieves on THIS machine
+        _cold()
         started = time.perf_counter()
         threaded = sharded_select(
             table, predicate=PREDICATE, aggregate=SPECS,

@@ -104,6 +104,8 @@ class IngestStats(_AdditiveCounters):
         self.bytes_encoded = 0        # slice bytes before compression
         self.bytes_compressed = 0     # slice bytes handed to the PLogs
         self.plog_group_commits = 0   # append_batch calls (group commits)
+        self.plog_appends_acked = 0   # appends indexed (acknowledged)
+        self.plog_bytes_acked = 0     # payload bytes behind those acks
         self.ec_encode_calls = 0      # ReedSolomon.encode/encode_batch calls
         self.ec_payloads_encoded = 0  # payloads erasure-coded in those calls
         self.legacy_slices_decoded = 0
@@ -126,6 +128,8 @@ class IngestStats(_AdditiveCounters):
             "bytes_compressed": self.bytes_compressed,
             "compression_ratio": self.compression_ratio,
             "plog_group_commits": self.plog_group_commits,
+            "plog_appends_acked": self.plog_appends_acked,
+            "plog_bytes_acked": self.plog_bytes_acked,
             "ec_encode_calls": self.ec_encode_calls,
             "ec_payloads_encoded": self.ec_payloads_encoded,
             "legacy_slices_decoded": self.legacy_slices_decoded,

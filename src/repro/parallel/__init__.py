@@ -12,6 +12,7 @@ is value-identical to the single-shard oracle.
 from repro.common.clock import lpt_makespan
 from repro.parallel.convert import ConversionWave, run_conversion_wave
 from repro.parallel.executor import ShardPool
+from repro.parallel.ingest import IngestWave, sharded_append_batch
 from repro.parallel.partition import WorkPartitioner, worker_names
 from repro.parallel.query import (
     JoinShardResult,
@@ -26,6 +27,7 @@ from repro.parallel.query import (
 
 __all__ = [
     "ConversionWave",
+    "IngestWave",
     "JoinShardResult",
     "JoinShardTask",
     "ShardPool",
@@ -35,6 +37,7 @@ __all__ = [
     "WorkPartitioner",
     "lpt_makespan",
     "run_conversion_wave",
+    "sharded_append_batch",
     "sharded_hash_join",
     "sharded_join_kernel",
     "sharded_select",

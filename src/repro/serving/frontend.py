@@ -115,6 +115,20 @@ class ServingFrontend:
 
     # --- tenants and producers ---------------------------------------------
 
+    def configure_write_parallelism(self, workers: int,
+                                    mode: str = "thread") -> None:
+        """Fan the PLog group commits behind every tenant ``workers`` wide.
+
+        Dispatched batches drain through the producer/group-commit path
+        unchanged; only the backing
+        :class:`~repro.storage.plog.PLogManager` routes each sealed
+        slice group through the sharded committer
+        (:func:`repro.parallel.ingest.sharded_append_batch`), charging
+        the LPT makespan of per-partition write waves instead of the
+        serial sum.  ``workers=1`` restores the serial path.
+        """
+        self.service.plogs.configure_write_parallelism(workers, mode)
+
     def producer_for(self, tenant_id: str,
                      batch_size: int = 256) -> Producer:
         """The tenant's producer, bound through the scheduling proxy."""

@@ -221,20 +221,35 @@ class ReedSolomon:
         shards.extend(parity_block[i].tobytes() for i in range(self.m))
         return shards
 
-    def encode_batch(self, payloads: list[bytes]) -> list[list[bytes]]:
+    @staticmethod
+    def count_batch_encode(payload_count: int) -> None:
+        """Charge the counters one counted :meth:`encode_batch` of
+        ``payload_count`` payloads would have charged.
+
+        The sharded committer (:mod:`repro.parallel.ingest`) encodes its
+        partitions with ``counted=False`` inside forked contexts and then
+        calls this once on the driver context, so merged counters stay
+        value-identical to the serial oracle's single counted encode.
+        """
+        ingest = stats.ingest_stats()
+        ingest.ec_encode_calls += 1
+        ingest.ec_payloads_encoded += payload_count
+
+    def encode_batch(self, payloads: list[bytes], *,
+                     counted: bool = True) -> list[list[bytes]]:
         """Encode many payloads with one parity matmul.
 
         The per-payload data blocks (each ``(k, shard_len_i)``) are stacked
         along the shard-length axis into one ``(k, sum(shard_len_i))``
         matrix, so N slice seals pay for one broadcast setup instead of N.
         Shard lengths per payload are identical to per-payload
-        :meth:`encode`.
+        :meth:`encode`.  ``counted=False`` skips the stats charge (see
+        :meth:`count_batch_encode`).
         """
         if not payloads:
             return []
-        ingest = stats.ingest_stats()
-        ingest.ec_encode_calls += 1
-        ingest.ec_payloads_encoded += len(payloads)
+        if counted:
+            self.count_batch_encode(len(payloads))
         blocks = [self._data_block(payload) for payload in payloads]
         stacked = blocks[0] if len(blocks) == 1 else np.hstack(blocks)
         parity_all = _matmul(self.matrix[self.k :], stacked)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common import stats
 from repro.common.clock import SimClock
 from repro.common.units import MiB
 from repro.errors import ObjectNotFoundError, TornWriteError
@@ -70,7 +71,9 @@ class PLogManager:
     def __init__(self, pool: StoragePool, clock: SimClock,
                  num_shards: int = NUM_SHARDS,
                  address_space: int = PLOG_ADDRESS_SPACE,
-                 index: KVEngine | None = None) -> None:
+                 index: KVEngine | None = None,
+                 write_parallelism: int = 1,
+                 write_mode: str = "thread") -> None:
         self.pool = pool
         self._clock = clock
         self.num_shards = num_shards
@@ -80,6 +83,20 @@ class PLogManager:
         self._history: dict[int, list[PLogUnit]] = {}
         self.appends = 0
         self.bytes_appended = 0
+        #: group commits fan over this many write-wave workers (1 = serial)
+        self.write_parallelism = write_parallelism
+        #: ShardPool mode for the write waves ("serial"/"thread")
+        self.write_mode = write_mode
+
+    def configure_write_parallelism(self, workers: int,
+                                    mode: str = "thread") -> None:
+        """Route group commits through the sharded committer
+        (:func:`repro.parallel.ingest.sharded_append_batch`) ``workers``
+        wide; ``workers=1`` restores the serial path."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.write_parallelism = workers
+        self.write_mode = mode
 
     def _unit_for(self, shard: int, size: int) -> tuple[PLogUnit, int]:
         unit = self._active.get(shard)
@@ -102,6 +119,45 @@ class PLogManager:
         self._active[shard] = unit
         return unit, offset
 
+    def _reserve(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[tuple[str, bytes, PLogAddress]]:
+        """Reserve an address per item, in input order.
+
+        Shared by the serial commit and the sharded committer
+        (:mod:`repro.parallel.ingest`): reservation always happens on the
+        driver in input order, so both paths assign bit-identical
+        addresses — the first leg of the equivalence oracle.
+        """
+        placements: list[tuple[str, bytes, PLogAddress]] = []
+        for key, payload in items:
+            shard = shard_of(key, self.num_shards)
+            unit, offset = self._unit_for(shard, len(payload))
+            placements.append(
+                (key, payload, PLogAddress(shard, unit.generation, offset))
+            )
+        return placements
+
+    def _index_acked(
+        self, placements: list[tuple[str, bytes, PLogAddress]]
+    ) -> None:
+        """Index acknowledged appends and charge the append counters.
+
+        The single bookkeeping path for every ack — :meth:`append`,
+        :meth:`append_batch_serial` (clean and torn) and the sharded
+        committer all come through here, so no commit path can drift
+        ``appends``/``bytes_appended`` or the context-routed ingest
+        counters relative to another.
+        """
+        ingest = stats.ingest_stats()
+        index_put = self.index.put
+        for key, payload, address in placements:
+            index_put(f"addr/{key}", address.extent_id())
+            self.bytes_appended += len(payload)
+            ingest.plog_bytes_acked += len(payload)
+        self.appends += len(placements)
+        ingest.plog_appends_acked += len(placements)
+
     def append(self, key: str, payload: bytes) -> tuple[PLogAddress, float]:
         """Persist ``payload`` for ``key``; returns (address, sim seconds).
 
@@ -112,19 +168,46 @@ class PLogManager:
         unit, offset = self._unit_for(shard, len(payload))
         address = PLogAddress(shard, unit.generation, offset)
         cost = self.pool.store(address.extent_id(), payload)
-        self.index.put(f"addr/{key}", address.extent_id())
-        self.appends += 1
-        self.bytes_appended += len(payload)
+        self._index_acked([(key, payload, address)])
         return address, cost
 
     def append_batch(
         self, items: list[tuple[str, bytes]]
     ) -> tuple[list[PLogAddress], float]:
-        """Group-commit several payloads: reserve all addresses, store the
-        extents through one :meth:`StoragePool.store_batch` call (one EC
-        encode for the whole group), then index the keys.
+        """Group-commit several payloads; returns (addresses in input
+        order, simulated seconds).
 
-        Returns (addresses in input order, simulated seconds).
+        With ``write_parallelism == 1`` (the default) this is the serial
+        path: one :meth:`StoragePool.store_batch` charging extents
+        back-to-back.  A wider setting routes the group through
+        :func:`repro.parallel.ingest.sharded_append_batch`, which
+        partitions the group by PLog shard ownership, fans EC encode and
+        placement over workers, and charges the LPT makespan of the
+        per-partition write waves — with this serial path as its
+        equivalence oracle (identical addresses, index contents, acked
+        keys and merged counters; only the returned sim seconds shrink).
+        """
+        if not items:
+            return [], 0.0
+        if self.write_parallelism > 1 and len(items) > 1:
+            # imported lazily: repro.parallel sits above the storage layer
+            from repro.parallel.ingest import sharded_append_batch
+
+            wave = sharded_append_batch(
+                self, items,
+                num_workers=self.write_parallelism,
+                mode=self.write_mode,
+            )
+            return wave.addresses, wave.sim_elapsed_s
+        return self.append_batch_serial(items)
+
+    def append_batch_serial(
+        self, items: list[tuple[str, bytes]]
+    ) -> tuple[list[PLogAddress], float]:
+        """The serial group commit (and the sharded committer's oracle):
+        reserve all addresses, store the extents through one
+        :meth:`StoragePool.store_batch` call (one EC encode for the whole
+        group), then index the keys.
 
         Acked-write semantics: a group commit that tears mid-batch (see
         :meth:`StoragePool.store_batch`) indexes only the durable prefix
@@ -135,13 +218,7 @@ class PLogManager:
         """
         if not items:
             return [], 0.0
-        placements: list[tuple[str, bytes, PLogAddress]] = []
-        for key, payload in items:
-            shard = shard_of(key, self.num_shards)
-            unit, offset = self._unit_for(shard, len(payload))
-            placements.append(
-                (key, payload, PLogAddress(shard, unit.generation, offset))
-            )
+        placements = self._reserve(items)
         try:
             cost = self.pool.store_batch(
                 [(address.extent_id(), payload)
@@ -151,21 +228,14 @@ class PLogManager:
             # the pool stored extents in placement order: the durable
             # prefix maps back onto the first len(exc.durable) keys
             durable = placements[: len(exc.durable)]
-            for key, payload, address in durable:
-                self.index.put(f"addr/{key}", address.extent_id())
-                self.bytes_appended += len(payload)
-            self.appends += len(durable)
+            self._index_acked(durable)
             raise TornWriteError(
                 f"PLog group commit torn: {len(durable)} of "
                 f"{len(placements)} appends durable",
                 durable=[key for key, _, __ in durable],
                 lost=[key for key, _, __ in placements[len(durable):]],
             ) from exc
-        index_put = self.index.put
-        for key, payload, address in placements:
-            index_put(f"addr/{key}", address.extent_id())
-            self.bytes_appended += len(payload)
-        self.appends += len(placements)
+        self._index_acked(placements)
         return [address for *_, address in placements], cost
 
     def read(self, address: PLogAddress) -> tuple[bytes, float]:

@@ -69,7 +69,12 @@ class StoragePool:
         self._extents: dict[str, _ExtentMeta] = {}
         self._snapshots: dict[str, set[str]] = {}
         self._provisioned: dict[str, int] = {}
-        self._torn_after: int | None = None
+        self._torn_armings: list[int] = []
+        #: per-extent simulated seconds of the most recent
+        #: :meth:`store_batch` (durable prefix only when it tore) — callers
+        #: that overlap commits makespan-charge from these instead of the
+        #: summed return value.
+        self.last_batch_costs: list[float] = []
         self.stats = PoolStats()
 
     # --- membership -------------------------------------------------------
@@ -124,12 +129,22 @@ class StoragePool:
         """
         return self._place(extent_id, payload, self.policy.fragment(payload))
 
-    def store_batch(self, items: list[tuple[str, bytes]]) -> float:
+    def store_batch(self, items: list[tuple[str, bytes]],
+                    fragments_per: list[list[bytes]] | None = None) -> float:
         """Group-commit several extents: one policy ``fragment_batch`` call
         (amortizing EC matrix setup), then per-extent placement.
 
-        Returns the summed simulated seconds (extents land back-to-back;
-        fragments within an extent still write in parallel).
+        Returns the summed simulated seconds — the *serial* cost model,
+        where extents land back-to-back on the device queue.  The
+        per-extent costs behind that sum are exposed in
+        :attr:`last_batch_costs` so callers that overlap commits (the
+        sharded committer in :mod:`repro.parallel.ingest`) can charge the
+        LPT makespan of their write waves instead of the sum; the summed
+        return value stays the equivalence oracle for those callers.
+
+        ``fragments_per`` lets such callers pass in fragments they already
+        encoded (e.g. per-partition, in a forked context); when omitted
+        the policy encodes here.
 
         Acked-write semantics: when the commit tears mid-batch — a storage
         failure while placing member *i*, or an armed
@@ -138,14 +153,16 @@ class StoragePool:
         the tear, so callers never mistake lost-in-flight extents for
         acknowledged ones.  The tearing member itself is rolled back by
         :meth:`_place` (all-or-nothing per extent), so no partial extent
-        ever survives.
+        ever survives.  :attr:`last_batch_costs` then holds the durable
+        prefix's costs.
         """
-        fragments_per = self.policy.fragment_batch(
-            [payload for _, payload in items]
-        )
-        torn_after = self._torn_after
-        self._torn_after = None
-        total = 0.0
+        if fragments_per is None:
+            fragments_per = self.policy.fragment_batch(
+                [payload for _, payload in items]
+            )
+        torn_after = self._torn_armings.pop(0) if self._torn_armings else None
+        extent_costs: list[float] = []
+        self.last_batch_costs = extent_costs
         durable: list[str] = []
         for index, ((extent_id, payload), fragments) in enumerate(
             zip(items, fragments_per)
@@ -159,7 +176,7 @@ class StoragePool:
                     lost=[eid for eid, _ in items[index:]],
                 )
             try:
-                total += self._place(extent_id, payload, fragments)
+                extent_costs.append(self._place(extent_id, payload, fragments))
             except StorageError as exc:
                 raise TornWriteError(
                     f"pool {self.name!r}: group commit member "
@@ -169,19 +186,32 @@ class StoragePool:
                     lost=[eid for eid, _ in items[index:]],
                 ) from exc
             durable.append(extent_id)
-        return total
+        return sum(extent_costs)
 
     def arm_torn_commit(self, after_extents: int) -> None:
-        """Fault injection: tear the *next* group commit.
+        """Fault injection: tear an upcoming group commit.
 
-        The next :meth:`store_batch` call persists its first
-        ``after_extents`` members, then fails with a
-        :class:`TornWriteError`; the arming is consumed whether or not
-        the batch was long enough to tear.
+        Armings queue FIFO: each :meth:`store_batch` call consumes one —
+        persisting its first ``after_extents`` members, then failing with
+        a :class:`TornWriteError` — whether or not the batch was long
+        enough to tear.  Repeated arming targets successive commits,
+        which is how tests tear a *specific partition* of a sharded
+        group commit (each per-partition write wave is one
+        ``store_batch`` call; see :mod:`repro.parallel.ingest`).
         """
         if after_extents < 0:
             raise ValueError(f"negative tear point {after_extents!r}")
-        self._torn_after = after_extents
+        self._torn_armings.append(after_extents)
+
+    def disarm_torn_commits(self) -> int:
+        """Drop queued tear armings; returns how many were pending.
+
+        Test harnesses disarm between scenarios so an arming meant for a
+        short commit never leaks into an unrelated later one.
+        """
+        pending = len(self._torn_armings)
+        self._torn_armings.clear()
+        return pending
 
     def _place(self, extent_id: str, payload: bytes,
                fragments: list[bytes]) -> float:

@@ -31,13 +31,24 @@ class RedundancyPolicy(ABC):
     def fragment(self, payload: bytes) -> list[bytes]:
         """Split/copy ``payload`` into ``width`` fragments."""
 
-    def fragment_batch(self, payloads: list[bytes]) -> list[list[bytes]]:
+    def fragment_batch(self, payloads: list[bytes], *,
+                       counted: bool = True) -> list[list[bytes]]:
         """Fragment many payloads at once (group commit).
 
         The default just loops; policies with per-call setup cost (erasure
         coding) override this to amortize it across the batch.
+        ``counted=False`` defers the policy's stats charge to a later
+        :meth:`count_fragment_batch` call — the sharded committer encodes
+        per-partition in forked contexts and charges the driver context
+        once, keeping merged counters identical to a serial commit.
         """
+        del counted  # replication charges no encode counters
         return [self.fragment(payload) for payload in payloads]
+
+    def count_fragment_batch(self, payload_count: int) -> None:
+        """Charge the counters one counted :meth:`fragment_batch` of
+        ``payload_count`` payloads would have charged (no-op for policies
+        without encode counters)."""
 
     @abstractmethod
     def assemble(self, fragments: list[bytes | None], length: int) -> bytes:
@@ -70,8 +81,12 @@ def erasure_coding_policy(data_shards: int, parity_shards: int) -> RedundancyPol
         def fragment(self, payload: bytes) -> list[bytes]:
             return self._codec.encode(payload)
 
-        def fragment_batch(self, payloads: list[bytes]) -> list[list[bytes]]:
-            return self._codec.encode_batch(payloads)
+        def fragment_batch(self, payloads: list[bytes], *,
+                           counted: bool = True) -> list[list[bytes]]:
+            return self._codec.encode_batch(payloads, counted=counted)
+
+        def count_fragment_batch(self, payload_count: int) -> None:
+            self._codec.count_batch_encode(payload_count)
 
         def assemble(self, fragments: list[bytes | None], length: int) -> bytes:
             return self._codec.decode(fragments, length)

@@ -361,10 +361,16 @@ class StreamObject:
         try:
             _, cost = self._plogs.append_batch(items)
         except TornWriteError as exc:
-            # the durable prefix of slices was acked by the PLogs: keep
-            # serving it; the lost slices' records were never acked and
-            # their offsets become holes readers skip over
-            self._sealed.extend(infos[: len(exc.durable)])
+            # the slices the PLogs acked stay served; the lost slices'
+            # records were never acked and their offsets become holes
+            # readers skip over.  Matched by key, not prefix length: a
+            # sharded group commit (write_parallelism > 1) acks the union
+            # of per-partition durable prefixes, which need not be a
+            # prefix of the whole group.
+            durable_keys = set(exc.durable)
+            self._sealed.extend(
+                info for info in infos if info.plog_key in durable_keys
+            )
             raise
         self._sealed.extend(infos)
         return cost

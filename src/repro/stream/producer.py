@@ -4,6 +4,14 @@ A producer routes each message through the dispatcher to the worker owning
 the target stream.  Messages are stamped with a (producer_id, sequence)
 pair so retries after a (simulated) network failure are idempotent, and
 optionally with an open transaction id for exactly-once pipelines.
+
+Large ``batch_size`` settings matter beyond amortized dispatch: every
+``batch_size`` records the owning stream object seals a *group* of
+slices in one PLog group commit, and when the backing
+:class:`~repro.storage.plog.PLogManager` is configured with
+``write_parallelism > 1`` that group fans out over per-shard write
+waves (:mod:`repro.parallel.ingest`) — so the wider the producer
+batches, the more partitions each commit can spread across.
 """
 
 from __future__ import annotations

@@ -30,10 +30,12 @@ from hypothesis.stateful import (
 
 from repro.common import stats
 from repro.common.clock import SimClock
+from repro.common.units import MiB
 from repro.errors import TornWriteError
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.storage.bus import DataBus
 from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.plog import PLogManager
 from repro.storage.pool import StoragePool
 from repro.storage.rebuild import RebuildQueue
 from repro.storage.redundancy import erasure_coding_policy
@@ -93,6 +95,12 @@ class DurabilityMachine(RuleBasedStateMachine):
         self.bus = DataBus(self.clock, aggregate_small_io=False)
         self.rebuilder = RebuildQueue(
             self.pool, self.bus, self.clock, op_timeout_s=60.0)
+        #: sharded group commits go through the same pool: four write
+        #: waves per commit, serial pool mode for determinism
+        self.plogs = PLogManager(
+            self.pool, self.clock, num_shards=64, address_space=1 * MiB,
+            write_parallelism=4, write_mode="serial",
+        )
         #: the model: extent -> payload for every ACKED write
         self.acked: dict[str, bytes] = {}
         self.injected = 0
@@ -125,6 +133,41 @@ class DurabilityMachine(RuleBasedStateMachine):
                     self.acked[extent_id] = payload
         else:
             self.acked.update(dict(items))
+
+    @rule(seed=st.integers(0, 255),
+          tears=st.lists(st.integers(0, 2), max_size=2))
+    def sharded_group_commit(self, seed, tears):
+        """A write_parallelism=4 PLog group commit under armed tears.
+
+        Each armed tear hits whichever partition write wave pops it
+        (FIFO); the commit must ack exactly the union of per-partition
+        durable prefixes — an acked key always reads back, a lost key is
+        never indexed.
+        """
+        items = [
+            (self._new_id(), bytes([(seed + i) % 251]) * (48 + 7 * i))
+            for i in range(6)
+        ]
+        for tear_after in tears:
+            self.pool.arm_torn_commit(tear_after)
+        try:
+            addresses, _ = self.plogs.append_batch(items)
+        except TornWriteError as exc:
+            self.injected += 1
+            durable = set(exc.durable)
+            for key, payload in items:
+                extent_id = self.plogs.index.get(f"addr/{key}")
+                if key in durable:
+                    assert extent_id is not None
+                    self.acked[extent_id] = payload
+                else:
+                    assert extent_id is None, "lost key was indexed"
+        else:
+            for (key, payload), address in zip(items, addresses):
+                self.acked[address.extent_id()] = payload
+        # a commit with fewer waves than armings leaves leftovers; drop
+        # them so they never tear an unrelated later rule's commit
+        self.pool.disarm_torn_commits()
 
     @rule(pick=st.integers(0, 1 << 16))
     def crash_disk(self, pick):

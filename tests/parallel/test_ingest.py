@@ -1,0 +1,240 @@
+"""Sharded group commit vs the serial oracle, clean and torn.
+
+The contract under test (see :mod:`repro.parallel.ingest`): routing a
+PLog group commit through per-shard write waves changes *only* the
+simulated cost — addresses, index contents, acked keys and merged
+counters stay bit-identical to ``append_batch_serial`` — and a tear in
+any partition acks exactly the union of per-partition durable prefixes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import SimClock, lpt_makespan
+from repro.common.context import ExecutionContext, use_context
+from repro.common.units import MiB
+from repro.errors import TornWriteError
+from repro.parallel.ingest import _partitioner, sharded_append_batch
+from repro.storage.disk import NVME_SSD_PROFILE
+from repro.storage.plog import PLogManager
+from repro.storage.pool import StoragePool
+from repro.storage.redundancy import erasure_coding_policy
+
+
+def build_plogs(write_parallelism: int = 1,
+                write_mode: str = "serial") -> PLogManager:
+    clock = SimClock()
+    pool = StoragePool("ssd", clock, policy=erasure_coding_policy(4, 2))
+    pool.add_disks(NVME_SSD_PROFILE, 8)
+    return PLogManager(
+        pool, clock, num_shards=64, address_space=1 * MiB,
+        write_parallelism=write_parallelism, write_mode=write_mode,
+    )
+
+
+def make_items(count: int, seed: int = 0) -> list[tuple[str, bytes]]:
+    return [
+        (f"k{seed}/{i}", bytes([(seed + i) % 251]) * (512 + 37 * i))
+        for i in range(count)
+    ]
+
+
+def commit_serial(items):
+    """The oracle run: serial commit in its own context."""
+    context = ExecutionContext("oracle")
+    with use_context(context):
+        manager = build_plogs(1)
+        addresses, cost = manager.append_batch(items)
+    return manager, addresses, cost, context
+
+
+def assert_same_plog_state(manager, oracle):
+    assert manager.appends == oracle.appends
+    assert manager.bytes_appended == oracle.bytes_appended
+    assert list(manager.index.scan("addr/")) == list(oracle.index.scan("addr/"))
+    assert sorted(manager.pool.extent_ids()) == sorted(oracle.pool.extent_ids())
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_sharded_matches_serial_oracle(workers):
+    items = make_items(48)
+    oracle, oracle_addresses, oracle_cost, oracle_ctx = commit_serial(items)
+
+    context = ExecutionContext(f"sharded-{workers}")
+    with use_context(context):
+        manager = build_plogs(workers)
+        wave = sharded_append_batch(
+            manager, items, num_workers=workers, mode="serial",
+        )
+
+    assert wave.addresses == oracle_addresses
+    assert wave.acked_keys == [key for key, _ in items]
+    assert_same_plog_state(manager, oracle)
+    # merged counters == the oracle's, fork boundaries notwithstanding
+    assert context.snapshot() == oracle_ctx.snapshot()
+    # the homogeneous pool makes per-extent costs placement-independent,
+    # so the wave's serial sum IS the oracle's back-to-back charge
+    assert wave.sim_serial_s == pytest.approx(oracle_cost)
+    assert wave.sim_elapsed_s == pytest.approx(
+        lpt_makespan(wave.partition_costs, workers)
+    )
+    assert wave.sim_elapsed_s <= wave.sim_serial_s + 1e-12
+    if workers == 1:
+        assert wave.sim_elapsed_s == pytest.approx(oracle_cost)
+    else:
+        assert wave.speedup > 1.0
+
+
+def test_append_batch_dispatches_through_committer():
+    items = make_items(48, seed=3)
+    oracle, oracle_addresses, oracle_cost, oracle_ctx = commit_serial(items)
+
+    context = ExecutionContext("dispatch")
+    with use_context(context):
+        manager = build_plogs(4, "serial")
+        addresses, cost = manager.append_batch(items)
+
+    assert addresses == oracle_addresses
+    assert cost < oracle_cost  # makespan, not the serial sum
+    assert_same_plog_state(manager, oracle)
+    assert context.snapshot() == oracle_ctx.snapshot()
+
+
+def test_thread_mode_matches_serial_mode():
+    items = make_items(48, seed=5)
+    oracle, oracle_addresses, _, oracle_ctx = commit_serial(items)
+
+    context = ExecutionContext("threaded")
+    with use_context(context):
+        manager = build_plogs(8, "thread")
+        addresses, _ = manager.append_batch(items)
+
+    assert addresses == oracle_addresses
+    assert_same_plog_state(manager, oracle)
+    assert context.snapshot() == oracle_ctx.snapshot()
+
+
+def test_configure_write_parallelism_round_trip():
+    manager = build_plogs(1)
+    manager.configure_write_parallelism(8, mode="serial")
+    assert manager.write_parallelism == 8
+    with pytest.raises(ValueError):
+        manager.configure_write_parallelism(0)
+    manager.configure_write_parallelism(1)
+    items = make_items(4, seed=9)
+    addresses, _ = manager.append_batch(items)
+    assert len(addresses) == len(items)
+
+
+def test_single_item_group_goes_serial():
+    context = ExecutionContext("single")
+    with use_context(context):
+        manager = build_plogs(8, "serial")
+        addresses, cost = manager.append_batch(make_items(1))
+    assert len(addresses) == 1
+    assert cost > 0
+    assert manager.append_batch([]) == ([], 0.0)
+
+
+def test_process_mode_rejected():
+    manager = build_plogs(1)
+    with pytest.raises(ValueError, match="process"):
+        sharded_append_batch(manager, make_items(4), 2, mode="process")
+
+
+def expected_tear_outcome(items, workers, armings):
+    """Model the per-partition FIFO arming consumption (serial mode).
+
+    Returns (acked positions in input order, partitions that tore).
+    Non-empty partitions run in worker order; each pops one arming.
+    """
+    buckets = _partitioner(workers).partition([key for key, _ in items])
+    work = [positions for positions in buckets if positions]
+    queue = list(armings)
+    acked: list[int] = []
+    tears = 0
+    for positions in work:
+        tear_after = queue.pop(0) if queue else None
+        if tear_after is not None and tear_after < len(positions):
+            acked.extend(positions[:tear_after])
+            tears += 1
+        else:
+            acked.extend(positions)
+    return sorted(acked), tears
+
+
+def test_partition_tear_leaves_other_partitions_acked():
+    """Partition k tears while k+1 succeeds: no cross-partition false
+    acks, no cross-partition lost acks."""
+    items = make_items(40, seed=11)
+    workers = 4
+    armings = [1]  # first wave tears after one extent; the rest run clean
+    acked_positions, tears = expected_tear_outcome(items, workers, armings)
+    assert tears == 1 and 0 < len(acked_positions) < len(items)
+
+    context = ExecutionContext("torn")
+    with use_context(context):
+        manager = build_plogs(workers, "serial")
+        for arming in armings:
+            manager.pool.arm_torn_commit(arming)
+        with pytest.raises(TornWriteError) as info:
+            manager.append_batch(items)
+
+    expected_acked = [items[p][0] for p in acked_positions]
+    assert info.value.durable == expected_acked
+    assert sorted(info.value.lost) == sorted(
+        items[p][0] for p in range(len(items))
+        if p not in set(acked_positions)
+    )
+    # exactly the acked keys were indexed, through the shared bookkeeping
+    indexed = [key for key, _ in manager.index.scan("addr/")]
+    assert sorted(indexed) == sorted(f"addr/{k}" for k in expected_acked)
+    assert manager.appends == len(expected_acked)
+    assert context.ingest.plog_appends_acked == len(expected_acked)
+    assert context.faults.torn_commits == tears  # merged from the fork
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    count=st.integers(8, 32),
+    seed=st.integers(0, 255),
+    workers=st.sampled_from([2, 4, 8]),
+    armings=st.lists(st.integers(0, 12), min_size=1, max_size=8),
+)
+def test_torn_sharded_commit_acks_union_of_prefixes(
+    count, seed, workers, armings
+):
+    """Hypothesis pin for the acked-set law: global acked set == union
+    of per-partition durable prefixes, torn counters merge exactly."""
+    items = make_items(count, seed=seed)
+    acked_positions, tears = expected_tear_outcome(items, workers, armings)
+
+    context = ExecutionContext("hyp-torn")
+    with use_context(context):
+        manager = build_plogs(workers, "serial")
+        for arming in armings:
+            manager.pool.arm_torn_commit(arming)
+        if tears:
+            with pytest.raises(TornWriteError) as info:
+                manager.append_batch(items)
+            durable = info.value.durable
+        else:
+            addresses, _ = manager.append_batch(items)
+            assert len(addresses) == len(items)
+            durable = [key for key, _ in items]
+
+    assert durable == [items[p][0] for p in acked_positions]
+    assert manager.appends == len(acked_positions)
+    assert context.ingest.plog_appends_acked == len(acked_positions)
+    assert context.faults.torn_commits == tears
+    # every acked payload reads back byte-identical; lost keys are gone
+    acked_set = set(durable)
+    for position, (key, payload) in enumerate(items):
+        if key in acked_set:
+            data, _ = manager.read_key(key)
+            assert data == payload
+        else:
+            assert manager.index.get(f"addr/{key}") is None

@@ -96,3 +96,46 @@ def test_shard_utilization(manager):
 def test_keys_spread_over_shards(manager):
     shards = {manager.append(f"key-{i}", b"x")[0].shard for i in range(200)}
     assert len(shards) > 30  # even distribution over 64 shards
+
+
+def test_append_and_batch_share_bookkeeping(manager):
+    """One bookkeeping helper for every ack path: N singleton appends and
+    one N-item group commit charge identical counters."""
+    from repro.common.context import ExecutionContext, use_context
+
+    items = [(f"k{i}", bytes([i]) * (100 + i)) for i in range(6)]
+    singles = ExecutionContext("singles")
+    with use_context(singles):
+        for key, payload in items:
+            manager.append(key, payload)
+    single_appends = manager.appends
+    single_bytes = manager.bytes_appended
+
+    clock = SimClock()
+    pool = StoragePool("p2", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    other = PLogManager(pool, clock, num_shards=64, address_space=1 * MiB)
+    batched = ExecutionContext("batched")
+    with use_context(batched):
+        other.append_batch([(key, payload) for key, payload in items])
+
+    assert other.appends == single_appends
+    assert other.bytes_appended == single_bytes
+    assert singles.ingest.plog_appends_acked == len(items)
+    assert batched.ingest.plog_appends_acked == len(items)
+    assert batched.ingest.plog_bytes_acked == singles.ingest.plog_bytes_acked
+
+
+def test_append_batch_serial_is_the_default_path(manager):
+    """write_parallelism=1 dispatches to the serial oracle unchanged."""
+    items = [(f"s{i}", bytes([i]) * 128) for i in range(4)]
+    addresses, cost = manager.append_batch(items)
+
+    clock = SimClock()
+    pool = StoragePool("p3", clock, policy=Replication(2))
+    pool.add_disks(NVME_SSD_PROFILE, 3)
+    oracle = PLogManager(pool, clock, num_shards=64, address_space=1 * MiB)
+    oracle_addresses, oracle_cost = oracle.append_batch_serial(items)
+
+    assert addresses == oracle_addresses
+    assert cost == pytest.approx(oracle_cost)

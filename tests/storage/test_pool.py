@@ -191,3 +191,67 @@ def test_failed_store_rolls_back_partial_fragments():
     assert not pool.has_extent("doomed")
     pool.store("fine", b"y" * 50)
     assert pool.fetch("fine")[0] == b"y" * 50
+
+
+def test_store_batch_exposes_per_extent_costs():
+    """Satellite of the sharded committer: the summed return value stays
+    the serial oracle, but per-extent costs surface for makespan math."""
+    pool = make_pool(erasure_coding_policy(4, 2))
+    items = [(f"e{i}", bytes([i]) * (400 + 100 * i)) for i in range(5)]
+    total = pool.store_batch(items)
+    assert len(pool.last_batch_costs) == len(items)
+    assert total == pytest.approx(sum(pool.last_batch_costs))
+    assert all(cost > 0 for cost in pool.last_batch_costs)
+    # bigger payloads cost more on a homogeneous pool
+    assert pool.last_batch_costs == sorted(pool.last_batch_costs)
+
+
+def test_store_batch_accepts_precomputed_fragments():
+    pool = make_pool(erasure_coding_policy(4, 2))
+    items = [(f"e{i}", bytes([i]) * 500) for i in range(3)]
+    fragments_per = pool.policy.fragment_batch(
+        [payload for _, payload in items], counted=False
+    )
+    pool.store_batch(items, fragments_per=fragments_per)
+    for extent_id, payload in items:
+        assert pool.fetch(extent_id)[0] == payload
+
+
+def test_torn_store_batch_keeps_durable_prefix_costs():
+    from repro.errors import TornWriteError
+
+    pool = make_pool(erasure_coding_policy(4, 2))
+    items = [(f"e{i}", bytes([i]) * 500) for i in range(4)]
+    pool.arm_torn_commit(2)
+    with pytest.raises(TornWriteError) as info:
+        pool.store_batch(items)
+    assert info.value.durable == ["e0", "e1"]
+    assert len(pool.last_batch_costs) == 2  # durable prefix only
+
+
+def test_arm_torn_commit_queues_fifo():
+    """Repeated arming tears successive commits at their own points —
+    how tests target a specific partition of a sharded group commit."""
+    from repro.errors import TornWriteError
+
+    pool = make_pool(erasure_coding_policy(4, 2))
+    pool.arm_torn_commit(1)
+    pool.arm_torn_commit(0)
+    with pytest.raises(TornWriteError) as first:
+        pool.store_batch([("a0", b"x" * 64), ("a1", b"y" * 64)])
+    assert first.value.durable == ["a0"]
+    with pytest.raises(TornWriteError) as second:
+        pool.store_batch([("b0", b"x" * 64), ("b1", b"y" * 64)])
+    assert second.value.durable == []
+    # queue drained: the third commit lands clean
+    pool.store_batch([("c0", b"x" * 64)])
+    assert pool.has_extent("c0")
+
+
+def test_disarm_torn_commits_drops_pending():
+    pool = make_pool(erasure_coding_policy(4, 2))
+    pool.arm_torn_commit(0)
+    pool.arm_torn_commit(1)
+    assert pool.disarm_torn_commits() == 2
+    pool.store_batch([("ok", b"z" * 64)])
+    assert pool.has_extent("ok")
